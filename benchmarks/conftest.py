@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper, prints the
+rows/series, and writes them to ``results/<experiment_id>.txt`` so the
+regenerated evaluation artifacts persist after the run.
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def record(result) -> str:
+    """Print an ExperimentResult, persist its table and SVG figures."""
+    from repro.experiments.figures import svgs_for
+
+    rendered = result.render()
+    extra_keys = ("fig16", "fig17")
+    blocks = [rendered]
+    for key in extra_keys:
+        if key in result.extra:
+            blocks.append(f"\n--- {key} ---\n{result.extra[key]}")
+    text = "\n".join(blocks)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+    for name, svg in svgs_for(result).items():
+        (RESULTS_DIR / f"{name}.svg").write_text(svg)
+    print()
+    print(text)
+    return rendered

@@ -1,0 +1,38 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from conftest import record
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_scheduler(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("ablation_scheduler"),
+                                rounds=1, iterations=1)
+    record(result)
+    gflops = {r[0]: r[1] for r in result.rows}
+    assert gflops["makespan"] >= gflops["static"] >= gflops["round-robin"]
+
+
+def test_ablation_overlap(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("ablation_overlap"),
+                                rounds=1, iterations=1)
+    record(result)
+    gflops = {r[0]: r[1] for r in result.rows}
+    assert gflops["overlapped"] > 1.1 * gflops["serialized"]
+
+
+def test_ablation_steal(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("ablation_steal"),
+                                rounds=1, iterations=1)
+    record(result)
+    gflops = {r[0]: r[1] for r in result.rows}
+    assert gflops["victim sweep"] >= 0.95 * gflops["single victim"]
+
+
+def test_ablation_network(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("ablation_network"),
+                                rounds=1, iterations=1)
+    record(result)
+    gflops = {r[0]: r[1] for r in result.rows}
+    # Matmul is communication-bound: gigabit Ethernet is catastrophic.
+    assert gflops["QDR InfiniBand"] > 5 * gflops["gigabit Ethernet"]

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Figs. 13_14 (nbody scalability + performance)."""
+
+from conftest import record
+
+from repro.experiments import run_experiment
+
+
+def test_fig13_14(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("fig13_14"),
+                                rounds=1, iterations=1)
+    record(result)
+    study = result.extra["study"]
+    # Strong scaling: every system speeds up from 1 to 16 nodes.
+    for system, points in study.items():
+        assert points[-1].speedup > 4.0, system
+    # Cashmere's absolute performance is far above Satin's (Sec. V-B).
+    assert study["cashmere-opt"][-1].gflops > 2 * study["satin"][-1].gflops

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Fig. 15: heterogeneous vs homogeneous efficiency."""
+
+from conftest import record
+
+from repro.experiments import run_experiment
+
+
+def test_fig15(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("fig15"),
+                                rounds=1, iterations=1)
+    record(result)
+    eff = {r[0]: (r[1], r[2]) for r in result.rows}
+    # Paper: >90% heterogeneous efficiency in three of four applications...
+    over_90 = [app for app, (het, _h) in eff.items() if het > 88.0]
+    assert len(over_90) >= 3
+    # ...and matmul is the communication-bound exception.
+    assert eff["matmul"][0] < 60.0
+    # Heterogeneous efficiency is comparable to homogeneous.
+    for app, (het, homo) in eff.items():
+        assert het <= homo + 5.0

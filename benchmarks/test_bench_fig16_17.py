@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figs. 16/17: heterogeneous k-means Gantt charts."""
+
+from conftest import record
+
+from repro.experiments import run_experiment
+
+
+def test_fig16_17(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("fig16_17"),
+                                rounds=1, iterations=1)
+    record(result)
+    # The K20 out-schedules the ~4x slower Phi on the shared node.
+    assert result.extra["k20_jobs"] > 2 * result.extra["phi_jobs"]
+    assert result.extra["phi_jobs"] > 0
+    # Fig. 17: kernel execution is sustained across the whole run.
+    trace = result.extra["trace"]
+    assert trace.utilization(
+        max(("node0/gtx480[0]/kernel",), key=len)) > 0.7

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Fig. 6: kernel performance per device/version."""
+
+from conftest import record
+
+from repro.experiments import run_experiment
+
+
+def test_fig6(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("fig6"),
+                                rounds=1, iterations=1)
+    record(result)
+    perf = result.extra["performance"]
+    # Paper shape: drastic optimization effect except for the raytracer.
+    for dev in ("gtx480", "k20"):
+        assert perf["matmul"][dev]["optimized"] > \
+            4 * perf["matmul"][dev]["unoptimized"]
+        rt = perf["raytracer"][dev]
+        assert abs(rt["optimized"] - rt["unoptimized"]) < 0.2 * rt["unoptimized"]

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Table III: heterogeneous performance."""
+
+from conftest import record
+
+from repro.experiments import run_experiment
+
+
+def test_table3(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("table3"),
+                                rounds=1, iterations=1)
+    record(result)
+    by_app = {r[0]: r[1] for r in result.rows}
+    # Paper shape: k-means and n-body (with the K20s and Phis) far above
+    # the 15-device raytracer/matmul configurations.
+    assert by_app["k-means"] > by_app["matmul"] > by_app["raytracer"]
+    assert by_app["n-body"] > by_app["raytracer"]

@@ -1,0 +1,19 @@
+"""Benchmarks regenerating Tables I and II (static context tables)."""
+
+from conftest import record
+
+from repro.experiments import run_experiment
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("table1"),
+                                rounds=1, iterations=1)
+    record(result)
+    assert len(result.rows) == 10
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("table2"),
+                                rounds=1, iterations=1)
+    record(result)
+    assert len(result.rows) == 4

@@ -1,0 +1,55 @@
+"""Reproduction of "Cashmere: Heterogeneous Many-Core Computing" (IPDPS 2015).
+
+Top-level convenience exports; see the subpackages for the full API:
+
+* :mod:`repro.sim` — discrete-event simulation substrate,
+* :mod:`repro.cluster` — the simulated DAS-4,
+* :mod:`repro.devices` — the seven many-core devices and their models,
+* :mod:`repro.mcl` — Many-Core Levels (HDL, MCPL, compiler, kernels),
+* :mod:`repro.satin` — the divide-and-conquer runtime,
+* :mod:`repro.core` — Cashmere (the paper's contribution),
+* :mod:`repro.apps` — the four evaluation applications,
+* :mod:`repro.experiments` — runners for every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from .apps import KMeansApp, MatmulApp, NBodyApp, RaytracerApp  # noqa: F401
+from .apps.base import run_cashmere, run_satin  # noqa: F401
+from .cluster import (  # noqa: F401
+    ClusterConfig,
+    SimCluster,
+    gtx480_cluster,
+    heterogeneous_kmeans,
+    heterogeneous_nbody,
+    heterogeneous_small,
+    satin_cpu_cluster,
+)
+from .core import Cashmere, CashmereConfig, CashmereRuntime, MCL  # noqa: F401
+from .mcl import KernelLibrary  # noqa: F401
+from .satin import DivideConquerApp, RuntimeConfig, SatinRuntime  # noqa: F401
+
+__all__ = [
+    "__version__",
+    "run_cashmere",
+    "run_satin",
+    "CashmereRuntime",
+    "CashmereConfig",
+    "Cashmere",
+    "MCL",
+    "SatinRuntime",
+    "RuntimeConfig",
+    "DivideConquerApp",
+    "KernelLibrary",
+    "SimCluster",
+    "ClusterConfig",
+    "gtx480_cluster",
+    "satin_cpu_cluster",
+    "heterogeneous_small",
+    "heterogeneous_kmeans",
+    "heterogeneous_nbody",
+    "MatmulApp",
+    "KMeansApp",
+    "NBodyApp",
+    "RaytracerApp",
+]

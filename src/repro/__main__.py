@@ -1,0 +1,86 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list                     # show experiment ids
+    python -m repro run fig15                # run one experiment
+    python -m repro run all -o results/      # run everything, save artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import list_experiments, run_experiment
+from .experiments.figures import svgs_for
+
+
+def _save(result, out_dir: pathlib.Path) -> List[str]:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    text = result.render()
+    for key in ("fig16", "fig17"):
+        if key in result.extra:
+            text += f"\n\n--- {key} ---\n{result.extra[key]}"
+    path = out_dir / f"{result.experiment_id}.txt"
+    path.write_text(text + "\n")
+    written.append(str(path))
+    for name, svg in svgs_for(result).items():
+        svg_path = out_dir / f"{name}.svg"
+        svg_path.write_text(svg)
+        written.append(str(svg_path))
+    return written
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the evaluation of 'Cashmere: Heterogeneous "
+                    "Many-Core Computing' (IPDPS 2015).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment",
+                       help="experiment id from 'list', or 'all'")
+    run_p.add_argument("-o", "--out", type=pathlib.Path, default=None,
+                       help="directory to write the text/SVG artifacts to")
+    run_p.add_argument("--seed", type=int, default=None,
+                       help="override the run seed (where applicable)")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in list_experiments():
+            print(experiment_id)
+        return 0
+
+    targets = list_experiments() if args.experiment == "all" \
+        else [args.experiment]
+    for experiment_id in targets:
+        kwargs = {}
+        if args.seed is not None and experiment_id not in (
+                "table1", "table2", "fig6"):
+            kwargs["seed"] = args.seed
+        start = time.perf_counter()
+        try:
+            result = run_experiment(experiment_id, **kwargs)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"({elapsed:.1f}s wall-clock)\n")
+        if args.out is not None:
+            for path in _save(result, args.out):
+                print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

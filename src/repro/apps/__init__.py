@@ -1,0 +1,27 @@
+"""The four evaluation applications of the paper (Table II).
+
+========== =========== ============ =============
+app        type        computation  communication
+========== =========== ============ =============
+raytracer  irregular   heavy        light
+matmul     regular     heavy        heavy
+k-means    iterative   moderate     light
+n-body     iterative   heavy        moderate
+========== =========== ============ =============
+"""
+
+from .base import CashmereApplication, run_cashmere, run_satin
+from .kmeans import KMeansApp
+from .matmul import MatmulApp
+from .nbody import NBodyApp
+from .raytracer import RaytracerApp
+
+__all__ = [
+    "CashmereApplication",
+    "run_satin",
+    "run_cashmere",
+    "MatmulApp",
+    "KMeansApp",
+    "NBodyApp",
+    "RaytracerApp",
+]

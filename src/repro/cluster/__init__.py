@@ -1,0 +1,25 @@
+"""Simulated DAS-4 cluster: nodes, devices, interconnect presets."""
+
+from .das4 import (
+    ClusterConfig,
+    SimCluster,
+    gtx480_cluster,
+    heterogeneous_kmeans,
+    heterogeneous_nbody,
+    heterogeneous_small,
+    satin_cpu_cluster,
+    single_device_cluster,
+)
+from .node import ComputeNode
+
+__all__ = [
+    "ComputeNode",
+    "ClusterConfig",
+    "SimCluster",
+    "gtx480_cluster",
+    "satin_cpu_cluster",
+    "single_device_cluster",
+    "heterogeneous_small",
+    "heterogeneous_kmeans",
+    "heterogeneous_nbody",
+]

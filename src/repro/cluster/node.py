@@ -1,0 +1,74 @@
+"""Simulated compute node.
+
+A DAS-4 node is a dual quad-core Xeon E5620 host with zero or more many-core
+devices on its PCIe bus, attached to the cluster interconnect.  The host CPU
+cores are a shared resource: Satin leaf computations, communication handling
+and load-balancing all compete for them — the effect the paper identifies as
+the second cause of Satin's reduced scalability (Sec. V-B).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence
+
+from ..devices.device import SimDevice
+from ..devices.specs import HOST_CPU, CpuSpec, device_spec
+from ..sim.engine import Environment
+from ..sim.network import Endpoint, Network
+from ..sim.resources import Resource
+from ..sim.trace import TraceRecorder
+
+__all__ = ["ComputeNode"]
+
+
+class ComputeNode:
+    """One cluster node: host CPU, devices, network endpoint."""
+
+    def __init__(self, env: Environment, network: Network, rank: int,
+                 device_names: Sequence[str] = (),
+                 cpu: CpuSpec = HOST_CPU,
+                 trace: Optional[TraceRecorder] = None,
+                 device_overlap: bool = True):
+        self.env = env
+        self.rank = rank
+        self.name = f"node{rank}"
+        self.cpu = cpu
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.endpoint: Endpoint = network.attach(rank)
+        self.cores = Resource(env, capacity=cpu.cores)
+        self.devices: List[SimDevice] = []
+        for i, dev_name in enumerate(device_names):
+            self.devices.append(
+                SimDevice(env, device_spec(dev_name), self.name, index=i,
+                          trace=self.trace, overlap=device_overlap)
+            )
+        #: set by fault injection; a crashed node stops participating
+        self.crashed = False
+
+    @property
+    def device_names(self) -> List[str]:
+        return [d.spec.name for d in self.devices]
+
+    def cpu_compute(self, flops: float, label: str = "cpu") -> Generator:
+        """Process: run a single-threaded CPU computation on one core.
+
+        This is how original-Satin leaves execute; it occupies one of the
+        node's 8 cores for flops / sustained-single-core-rate seconds.
+        """
+        with (yield self.cores.request()):
+            start = self.env.now
+            yield self.env.timeout(flops / self.cpu.core_flops)
+            self.trace.record(f"{self.name}/cpu", "cpu", label, start, self.env.now)
+
+    def cpu_delay(self, seconds: float, label: str = "cpu") -> Generator:
+        """Process: occupy one core for a fixed time (protocol overheads)."""
+        if seconds <= 0:
+            return
+        with (yield self.cores.request()):
+            start = self.env.now
+            yield self.env.timeout(seconds)
+            self.trace.record(f"{self.name}/cpu", "cpu", label, start, self.env.now)
+
+    def __repr__(self) -> str:
+        devs = ",".join(self.device_names) or "cpu-only"
+        return f"<ComputeNode {self.name} [{devs}]>"

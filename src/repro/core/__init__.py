@@ -1,0 +1,30 @@
+"""Cashmere: the integration of Satin and MCL (the paper's contribution).
+
+``CashmereRuntime`` runs divide-and-conquer applications on clusters whose
+nodes carry heterogeneous many-core devices: cluster-level random work
+stealing (from Satin), MCL kernels selected/compiled per device, the
+min-makespan intra-node device scheduler, PCIe/compute overlap, automatic
+device memory management, and CPU fallback.
+"""
+
+from .api import Cashmere, DeviceHandle, KernelHandle, KernelLaunch, MCL
+from .gantt import gantt_overview, gantt_zoomed, kernel_lanes, node_queues
+from .runtime import CashmereConfig, CashmereRuntime, KernelLaunchError
+from .scheduler import DeviceScheduler, SchedulingDecision
+
+__all__ = [
+    "CashmereRuntime",
+    "CashmereConfig",
+    "KernelLaunchError",
+    "DeviceScheduler",
+    "SchedulingDecision",
+    "Cashmere",
+    "MCL",
+    "KernelHandle",
+    "KernelLaunch",
+    "DeviceHandle",
+    "gantt_zoomed",
+    "gantt_overview",
+    "node_queues",
+    "kernel_lanes",
+]

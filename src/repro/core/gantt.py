@@ -1,0 +1,43 @@
+"""Gantt-chart reporting for Cashmere runs (the paper's Figs. 16-17).
+
+The simulated cluster records every CPU task, host<->device transfer,
+network send and kernel execution as trace activities.  These helpers slice
+the trace the way the paper presents it: a zoomed-in multi-queue view of a
+couple of nodes (Fig. 16), and a kernels-only overview of the whole run
+(Fig. 17).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..sim.trace import TraceRecorder, render_gantt_ascii
+
+__all__ = ["node_queues", "gantt_zoomed", "gantt_overview", "kernel_lanes"]
+
+
+def node_queues(trace: TraceRecorder, node_name: str) -> List[str]:
+    """All trace lanes ('queues', in the paper's terminology) of one node."""
+    return [q for q in trace.queues()
+            if q == node_name or q.startswith(node_name + "/")]
+
+
+def kernel_lanes(trace: TraceRecorder) -> List[str]:
+    """Lanes that carry kernel executions (Fig. 17 keeps only these)."""
+    return sorted({a.queue for a in trace.by_kind("kernel")})
+
+
+def gantt_zoomed(trace: TraceRecorder, node_names: Sequence[str],
+                 t0: Optional[float] = None, t1: Optional[float] = None,
+                 width: int = 100) -> str:
+    """Fig. 16: all queues of selected nodes, zoomed to [t0, t1]."""
+    lanes: List[str] = []
+    for name in node_names:
+        lanes.extend(node_queues(trace, name))
+    return render_gantt_ascii(trace, width=width, queues=lanes, t0=t0, t1=t1)
+
+
+def gantt_overview(trace: TraceRecorder, width: int = 100) -> str:
+    """Fig. 17: the whole run, kernel executions only."""
+    return render_gantt_ascii(trace, width=width, queues=kernel_lanes(trace),
+                              kinds=("kernel",))

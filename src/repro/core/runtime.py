@@ -1,0 +1,235 @@
+"""The Cashmere runtime: Satin + MCL on heterogeneous many-core clusters.
+
+Cashmere extends the Satin runtime with (Sec. II-C, III-B):
+
+* **initialization** — rank 0 becomes the master and broadcasts run-time
+  information; every node then compiles the most specific kernel version for
+  each of its devices,
+* **enableManyCore()** — once a task is "small enough for many-core", spawns
+  stop producing stealable jobs and become node-local threads feeding the
+  devices (handled by the base class via :meth:`_manycore_enabled`),
+* **leaf execution on devices** — a leaf picks a device with the intra-node
+  min-makespan scheduler, stages input over PCIe, runs the MCL kernel, and
+  copies results back; the three device engines let transfers overlap kernel
+  executions (Fig. 16),
+* **automatic device memory management** — a launch blocks until its working
+  set fits in device memory,
+* **CPU fallback** — if the kernel launch fails, the leaf runs on the CPU
+  (Fig. 4's catch block).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+from ..cluster.das4 import SimCluster
+from ..cluster.node import ComputeNode
+from ..devices.device import SimDevice
+from ..mcl.kernels import KernelLibrary
+from ..satin.job import DivideConquerApp, LeafContext
+from ..satin.runtime import RunResult, RuntimeConfig, SatinRuntime
+from .scheduler import DeviceScheduler
+
+__all__ = ["CashmereConfig", "CashmereRuntime", "KernelLaunchError"]
+
+
+class KernelLaunchError(RuntimeError):
+    """A device kernel launch failed (triggers the CPU fallback)."""
+
+
+class CashmereConfig(RuntimeConfig):
+    """Cashmere defaults differ from Satin's.
+
+    One leaf already fills a whole device, so a node needs far fewer
+    concurrent jobs than Satin's 8 (Sec. V-B).  Four node-level workers keep
+    the PCIe bus busy and give the intra-node scheduler a deep enough queue
+    to feed a slower second device (the K20 + Xeon Phi nodes of Fig. 16).
+    """
+
+    def __init__(self, workers_per_node: int = 4,
+                 kernel_compile_s: float = 0.0,
+                 runtime_info_bytes: float = 4096.0,
+                 scheduler_policy: str = "makespan",
+                 out_of_core: bool = False,
+                 **kwargs: Any):
+        # Cashmere runs are short (device leaves); a tight steal-backoff cap
+        # keeps iteration starts responsive at negligible event cost.
+        kwargs.setdefault("steal_backoff_max_s", 0.02)
+        super().__init__(workers_per_node=workers_per_node, **kwargs)
+        #: simulated time to JIT one kernel for one device at init
+        self.kernel_compile_s = kernel_compile_s
+        #: size of the master's runtime-information broadcast
+        self.runtime_info_bytes = runtime_info_bytes
+        #: intra-node device placement policy (see DeviceScheduler)
+        self.scheduler_policy = scheduler_policy
+        #: stream leaves whose working set exceeds device memory in chunks
+        #: (the paper's future work, Sec. VI: "Glasswing supports out-of-core
+        #: data which Cashmere does not support yet").  Off by default, in
+        #: which case oversized leaves fall back to the CPU (Fig. 4).
+        self.out_of_core = out_of_core
+
+
+class CashmereRuntime(SatinRuntime):
+    """Satin runtime extended with many-core execution through MCL."""
+
+    def __init__(self, cluster: SimCluster, app: DivideConquerApp,
+                 library: KernelLibrary,
+                 config: Optional[CashmereConfig] = None):
+        super().__init__(cluster, app, config or CashmereConfig())
+        self.library = library
+        self.scheduler = DeviceScheduler(policy=self.config.scheduler_policy)
+        #: compiled kernels per (node rank, kernel name, device name)
+        self._node_kernels: Dict[int, Dict[str, Dict[str, Any]]] = {}
+
+    # ------------------------------------------------------------------
+    # initialization (Sec. III-B "On initialization")
+    # ------------------------------------------------------------------
+    def run(self, root_task: Any, until: Optional[float] = None) -> RunResult:
+        if self._started:
+            raise RuntimeError("a CashmereRuntime instance runs exactly once")
+        self._started = True
+        self._start_nodes()
+        init_proc = self.env.process(self._initialize())
+        self.env.run(until=init_proc)
+        master = self.cluster.node(0)
+        start = self.env.now
+        root_proc = self.env.process(self._root(master, root_task))
+        result = self.env.run(until=root_proc)
+        self._shutdown = True
+        self._finished = True
+        self.stats.makespan_s = self.env.now - start
+        return RunResult(result=result, stats=self.stats)
+
+    def _initialize(self) -> Generator:
+        """Master broadcast + per-node kernel compilation."""
+        master = self.cluster.node(0)
+        yield from self.cluster.network.broadcast(
+            master.endpoint, "runtime-info", payload=None,
+            nbytes=self.config.runtime_info_bytes)
+        for node in self.cluster.nodes:
+            per_node = self._node_kernels.setdefault(node.rank, {})
+            for name in self.library.kernel_names():
+                per_kernel = per_node.setdefault(name, {})
+                for dev in node.devices:
+                    # compile() selects the most specific version and caches.
+                    per_kernel[dev.spec.name] = self.library.compile(
+                        name, dev.spec.name)
+                    if self.config.kernel_compile_s > 0:
+                        yield from node.cpu_delay(self.config.kernel_compile_s,
+                                                  label="jit-compile")
+
+    # ------------------------------------------------------------------
+    # the programming-model hooks
+    # ------------------------------------------------------------------
+    def _manycore_enabled(self, node: ComputeNode) -> bool:
+        return bool(node.devices)
+
+    def get_kernel(self, node: ComputeNode, name: Optional[str] = None):
+        """``Cashmere.getKernel()`` (Fig. 4): the compiled kernels of a node.
+
+        With a single registered kernel the name may be omitted; with more,
+        it must be given (exactly the paper's rule).
+        """
+        names = self.library.kernel_names()
+        if name is None:
+            if len(names) != 1:
+                raise KeyError(
+                    f"getKernel() without a name needs exactly one registered "
+                    f"kernel; have {names}")
+            name = names[0]
+        per_node = self._node_kernels.get(node.rank, {})
+        if name not in per_node or not per_node[name]:
+            raise KeyError(f"node {node.rank} has no compiled kernel {name!r} "
+                           "(no devices, or init not run)")
+        return per_node[name]
+
+    # ------------------------------------------------------------------
+    # leaf execution on devices
+    # ------------------------------------------------------------------
+    def _execute_leaf(self, node: ComputeNode, task: Any) -> Generator:
+        if not node.devices:
+            result = yield from super()._execute_leaf(node, task)
+            return result
+        try:
+            kernel_name = self.app.leaf_kernel_name(task)
+        except NotImplementedError:
+            result = yield from super()._execute_leaf(node, task)
+            return result
+        try:
+            result = yield from self._launch_leaf_kernel(node, task, kernel_name)
+            return result
+        except (KernelLaunchError, MemoryError):
+            # Fig. 4: catch -> leafCPU(a, b)
+            self.stats.cpu_fallbacks += 1
+            result = yield from super()._execute_leaf(node, task)
+            return result
+
+    def _launch_leaf_kernel(self, node: ComputeNode, task: Any,
+                            kernel_name: str) -> Generator:
+        app = self.app
+        decision = self.scheduler.choose(node.devices, kernel_name)
+        device = decision.device
+        compiled = self._node_kernels[node.rank][kernel_name][device.spec.name]
+        params = app.leaf_kernel_params(task)
+        h2d = app.leaf_h2d_bytes(task)
+        d2h = app.leaf_d2h_bytes(task)
+        profile = compiled.profile(params, h2d_bytes=h2d, d2h_bytes=d2h,
+                                   label=kernel_name)
+        footprint = h2d + d2h
+        if footprint > device.spec.mem_bytes and self.config.out_of_core:
+            try:
+                yield from self._launch_out_of_core(device, profile,
+                                                    kernel_name)
+            finally:
+                self.scheduler.job_finished(decision)
+            self.stats.out_of_core_launches += 1
+            return app.leaf_result(task)
+        try:
+            yield device.alloc(footprint)   # raises MemoryError if impossible
+        except MemoryError:
+            self.scheduler.job_finished(decision)
+            raise
+        try:
+            yield from device.copy_to_device(h2d, label=f"{kernel_name}-in")
+            yield from device.run_kernel(profile, label=kernel_name)
+            yield from device.copy_from_device(d2h, label=f"{kernel_name}-out")
+        finally:
+            self.scheduler.job_finished(decision)
+            yield device.free(footprint)
+        return app.leaf_result(task)
+
+    def _launch_out_of_core(self, device: SimDevice, profile: Any,
+                            kernel_name: str) -> Generator:
+        """Stream an oversized leaf through the device in pipelined chunks.
+
+        The launch is split into equal fractions small enough that two
+        chunks fit in device memory simultaneously, so chunk *k+1*'s input
+        transfer overlaps chunk *k*'s kernel.  Each chunk is a linearly
+        scaled copy of the full launch profile.
+        """
+        import math
+
+        footprint = profile.h2d_bytes + profile.d2h_bytes
+        # Two resident chunks for the pipeline, with some headroom.
+        chunk_budget = device.spec.mem_bytes * 0.45
+        chunks = max(int(math.ceil(footprint / chunk_budget)), 2)
+        part = profile.scaled(1.0 / chunks)
+        part_bytes = part.h2d_bytes + part.d2h_bytes
+
+        def one_chunk(index: int) -> Generator:
+            yield device.alloc(part_bytes)
+            try:
+                yield from device.copy_to_device(
+                    part.h2d_bytes, label=f"{kernel_name}-ooc{index}-in")
+                yield from device.run_kernel(
+                    part, label=f"{kernel_name}-ooc{index}")
+                yield from device.copy_from_device(
+                    part.d2h_bytes, label=f"{kernel_name}-ooc{index}-out")
+            finally:
+                yield device.free(part_bytes)
+
+        # Chunk processes run concurrently; the device's engines pipeline
+        # them while the memory admission keeps at most two resident.
+        procs = [self.env.process(one_chunk(i)) for i in range(chunks)]
+        for proc in procs:
+            yield proc

@@ -1,0 +1,138 @@
+"""Intra-node load balancing across heterogeneous many-core devices.
+
+Implements the algorithm of Sec. III-B: initially jobs are placed with a
+*static table of relative device speeds* (e.g. K20 = 40, GTX480 = 20); once
+a kernel has run on a device, its *measured* execution time is used.  A new
+job is submitted to the device queue that minimizes the node's overall
+makespan:
+
+    choose  argmin_d  max_e ( pending_e + [e == d] * t_d )
+
+which reproduces the paper's example — with the K20 queue at 3×100 ms and
+the GTX480 queue at 1×125 ms, a new job goes to the GTX480 because
+max(300, 250) < max(400, 125).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..devices.device import SimDevice
+
+__all__ = ["DeviceScheduler", "SchedulingDecision"]
+
+#: placement reference time used before any measurement exists; only the
+#: *relative* speeds matter for the decision, but a plausible absolute value
+#: keeps the pending-work bookkeeping meaningful.
+_BOOTSTRAP_REFERENCE_S = 50e-3
+_BOOTSTRAP_REFERENCE_SPEED = 40.0  # the K20's table entry
+
+
+@dataclass
+class SchedulingDecision:
+    device: SimDevice
+    predicted_s: float
+    makespan_s: float
+    used_measurement: bool
+
+
+#: available placement policies (ablation bench compares them)
+POLICIES = ("makespan", "static", "round-robin")
+
+
+class DeviceScheduler:
+    """Per-node scheduler state lives on the devices themselves
+    (``pending_work_s``, ``measured_times``); this class is stateless apart
+    from statistics and can be shared by all nodes of a runtime.
+
+    ``policy`` selects the placement rule:
+
+    * ``makespan`` — the paper's algorithm (measured times, min-makespan),
+    * ``static`` — always the device with the highest static-speed rating
+      (what Cashmere would do if it never measured anything),
+    * ``round-robin`` — speed-oblivious rotation (a naive baseline).
+    """
+
+    def __init__(self, policy: str = "makespan") -> None:
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; known: {POLICIES}")
+        self.policy = policy
+        self.decisions = 0
+        self.bootstrap_decisions = 0
+        self._rr_counter = 0
+
+    # -- prediction -----------------------------------------------------------
+    def predict(self, devices: List[SimDevice], kernel_name: str
+                ) -> Dict[str, Tuple[float, bool]]:
+        """Predicted per-device execution time for one job of a kernel.
+
+        Returns ``device.lane -> (seconds, used_measurement)``.  If *any*
+        device of the node has measured the kernel, others are scaled from
+        that measurement via the static speed table; with no measurement at
+        all, the bootstrap reference is scaled by the table alone.
+        """
+        reference: Optional[Tuple[float, float]] = None  # (time, speed)
+        for dev in devices:
+            t = dev.measured_times.get(kernel_name)
+            if t is not None and (reference is None
+                                  or dev.spec.static_speed > reference[1]):
+                reference = (t, dev.spec.static_speed)
+        out: Dict[str, Tuple[float, bool]] = {}
+        for dev in devices:
+            measured = dev.measured_times.get(kernel_name)
+            if measured is not None:
+                out[dev.lane] = (measured, True)
+            elif reference is not None:
+                ref_t, ref_speed = reference
+                out[dev.lane] = (ref_t * ref_speed / dev.spec.static_speed, False)
+            else:
+                out[dev.lane] = (
+                    _BOOTSTRAP_REFERENCE_S * _BOOTSTRAP_REFERENCE_SPEED
+                    / dev.spec.static_speed, False)
+        return out
+
+    # -- placement -----------------------------------------------------------
+    def choose(self, devices: List[SimDevice], kernel_name: str
+               ) -> SchedulingDecision:
+        """Pick a device according to the configured policy."""
+        if not devices:
+            raise ValueError("node has no many-core devices")
+        predictions = self.predict(devices, kernel_name)
+        if self.policy != "makespan":
+            if self.policy == "static":
+                dev = max(devices, key=lambda d: d.spec.static_speed)
+            else:  # round-robin
+                dev = devices[self._rr_counter % len(devices)]
+                self._rr_counter += 1
+            t_d, used = predictions[dev.lane]
+            decision = SchedulingDecision(
+                device=dev, predicted_s=t_d,
+                makespan_s=dev.pending_work_s + t_d, used_measurement=used)
+            dev.pending_work_s += t_d
+            self.decisions += 1
+            return decision
+        best: Optional[SchedulingDecision] = None
+        for dev in devices:
+            t_d, used_measurement = predictions[dev.lane]
+            makespan = max(
+                (other.pending_work_s + (t_d if other is dev else 0.0))
+                for other in devices)
+            if (best is None or makespan < best.makespan_s
+                    or (makespan == best.makespan_s
+                        and dev.spec.static_speed > best.device.spec.static_speed)):
+                best = SchedulingDecision(device=dev, predicted_s=t_d,
+                                          makespan_s=makespan,
+                                          used_measurement=used_measurement)
+        assert best is not None
+        best.device.pending_work_s += best.predicted_s
+        self.decisions += 1
+        if not best.used_measurement:
+            self.bootstrap_decisions += 1
+        return best
+
+    def job_finished(self, decision: SchedulingDecision) -> None:
+        """Release the queue reservation (the device recorded the measured
+        time itself when the kernel ran)."""
+        decision.device.pending_work_s = max(
+            0.0, decision.device.pending_work_s - decision.predicted_s)

@@ -1,0 +1,24 @@
+"""Many-core device simulator.
+
+Provides the seven accelerators of the paper's DAS-4 evaluation
+(:mod:`repro.devices.specs`), a roofline kernel-time model
+(:mod:`repro.devices.perfmodel`) and the simulated device itself with
+independent copy and compute engines (:mod:`repro.devices.device`).
+"""
+
+from .device import SimDevice
+from .perfmodel import KernelProfile, kernel_gflops, kernel_time, transfer_time
+from .specs import DEVICE_SPECS, HOST_CPU, CpuSpec, DeviceSpec, device_spec
+
+__all__ = [
+    "SimDevice",
+    "KernelProfile",
+    "kernel_time",
+    "kernel_gflops",
+    "transfer_time",
+    "DeviceSpec",
+    "CpuSpec",
+    "DEVICE_SPECS",
+    "HOST_CPU",
+    "device_spec",
+]

@@ -1,0 +1,134 @@
+"""Simulated many-core device.
+
+Each device exposes three independent engines — one host-to-device DMA
+engine, one device-to-host DMA engine, and one compute engine — so data
+transfers can overlap kernel executions exactly as the paper exploits
+(Sec. II-C3, III-B).  Device memory is a finite resource; Cashmere
+"automatically manages the available memory on a device", which we model as
+blocking allocation: a launch waits until its working set fits.
+
+The device also keeps *measured* kernel times per kernel name.  These feed
+the intra-node load balancer (Sec. III-B): the first jobs are placed with the
+static relative-speed table, afterwards placement uses measured times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from ..sim.engine import Environment
+from ..sim.resources import Container, Resource
+from ..sim.trace import TraceRecorder
+from .perfmodel import KernelProfile, kernel_time, transfer_time
+from .specs import DeviceSpec
+
+__all__ = ["SimDevice"]
+
+
+class SimDevice:
+    """One accelerator in a simulated compute node."""
+
+    def __init__(self, env: Environment, spec: DeviceSpec, node_name: str,
+                 index: int = 0, trace: Optional[TraceRecorder] = None,
+                 overlap: bool = True):
+        self.env = env
+        self.spec = spec
+        self.node_name = node_name
+        self.index = index
+        #: lane prefix in Gantt traces, e.g. "node3/gtx480[0]"
+        self.lane = f"{node_name}/{spec.name}[{index}]"
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+
+        #: with overlap disabled (ablation), copies and kernels serialize on
+        #: one engine — no PCIe/compute overlap (Sec. II-C3 turned off)
+        self.overlap = overlap
+        self.compute_engine = Resource(env, capacity=1)
+        if overlap:
+            self.h2d_engine = Resource(env, capacity=1)
+            self.d2h_engine = Resource(env, capacity=1)
+        else:
+            self.h2d_engine = self.compute_engine
+            self.d2h_engine = self.compute_engine
+        self.memory = Container(env, capacity=spec.mem_bytes, init=spec.mem_bytes)
+
+        #: measured execution time of the most recent launch, per kernel name
+        self.measured_times: Dict[str, float] = {}
+        #: number of completed launches per kernel name
+        self.launch_counts: Dict[str, int] = {}
+        #: queued-but-unfinished predicted work, seconds (scheduler state)
+        self.pending_work_s: float = 0.0
+        #: lifetime totals
+        self.busy_kernel_s: float = 0.0
+        self.bytes_h2d: float = 0.0
+        self.bytes_d2h: float = 0.0
+        self.flops_done: float = 0.0
+
+    # -- memory ------------------------------------------------------------
+    def alloc(self, nbytes: float):
+        """Event: blocks until ``nbytes`` of device memory are available."""
+        if nbytes > self.spec.mem_bytes:
+            raise MemoryError(
+                f"allocation of {nbytes:.0f} B exceeds {self.spec.name} memory "
+                f"({self.spec.mem_bytes:.0f} B); split the leaf job"
+            )
+        return self.memory.get(nbytes)
+
+    def free(self, nbytes: float):
+        """Event: return ``nbytes`` to the device memory pool."""
+        return self.memory.put(nbytes)
+
+    @property
+    def free_memory(self) -> float:
+        return self.memory.level
+
+    # -- engines -----------------------------------------------------------
+    def copy_to_device(self, nbytes: float, label: str = "h2d") -> Generator:
+        """Process: host-to-device transfer over PCIe."""
+        if nbytes <= 0:
+            return
+        with (yield self.h2d_engine.request()):
+            start = self.env.now
+            yield self.env.timeout(transfer_time(nbytes, self.spec))
+            self.bytes_h2d += nbytes
+            self.trace.record(f"{self.lane}/h2d", "h2d", label, start, self.env.now)
+
+    def copy_from_device(self, nbytes: float, label: str = "d2h") -> Generator:
+        """Process: device-to-host transfer over PCIe."""
+        if nbytes <= 0:
+            return
+        with (yield self.d2h_engine.request()):
+            start = self.env.now
+            yield self.env.timeout(transfer_time(nbytes, self.spec))
+            self.bytes_d2h += nbytes
+            self.trace.record(f"{self.lane}/d2h", "d2h", label, start, self.env.now)
+
+    def run_kernel(self, profile: KernelProfile, label: Optional[str] = None) -> Generator:
+        """Process: execute one kernel launch; returns the measured time."""
+        with (yield self.compute_engine.request()):
+            start = self.env.now
+            duration = kernel_time(profile, self.spec)
+            yield self.env.timeout(duration)
+            self.busy_kernel_s += duration
+            self.flops_done += profile.flops
+            self.measured_times[profile.name] = duration
+            self.launch_counts[profile.name] = self.launch_counts.get(profile.name, 0) + 1
+            self.trace.record(f"{self.lane}/kernel", "kernel",
+                              label or profile.name, start, self.env.now)
+        return duration
+
+    # -- scheduler support ---------------------------------------------------
+    def predict_time(self, kernel_name: str, fallback_reference: float,
+                     reference_speed: float) -> float:
+        """Predicted execution time for a kernel on this device.
+
+        Uses the measured time when one exists; otherwise scales a reference
+        time by the static speed table (a device with twice the speed rating
+        is assumed to take half as long), per Sec. III-B.
+        """
+        measured = self.measured_times.get(kernel_name)
+        if measured is not None:
+            return measured
+        return fallback_reference * reference_speed / self.spec.static_speed
+
+    def __repr__(self) -> str:
+        return f"<SimDevice {self.lane}>"

@@ -1,0 +1,85 @@
+"""Roofline kernel-time model.
+
+The paper measures real kernels; we predict kernel execution times with a
+roofline model: a kernel is limited either by compute throughput or by
+device-memory traffic,
+
+    t = launch_overhead + max( flops / (peak * e_c),  bytes / (bw * e_m) ) * d
+
+where ``e_c``/``e_m`` are achievable-fraction efficiencies and ``d`` >= 1 is a
+divergence penalty for irregular control flow (the raytracer's limiting
+factor, Sec. V-A).  The efficiencies come from the MCL kernel version: the
+unoptimized ``perfect``-level kernel has naive memory traffic and low
+efficiency; each resolved compiler-feedback item (tiling, coalescing,
+vectorization, ...) raises them, which is how the stepwise-refinement
+methodology shows up in Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from .specs import DeviceSpec
+
+__all__ = ["KernelProfile", "kernel_time", "kernel_gflops", "transfer_time"]
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Dynamic characteristics of one kernel launch on one device.
+
+    Produced by the MCL compiler's static analysis plus the kernel version's
+    efficiency model; consumed by :func:`kernel_time`.
+    """
+
+    name: str
+    flops: float                  #: useful floating-point operations
+    device_bytes: float           #: device-memory traffic (after reuse)
+    compute_efficiency: float     #: achievable fraction of peak flops (0..1]
+    memory_efficiency: float      #: achievable fraction of peak bandwidth (0..1]
+    divergence_factor: float = 1.0  #: >= 1; control-flow divergence penalty
+    h2d_bytes: float = 0.0        #: host-to-device transfer for this launch
+    d2h_bytes: float = 0.0        #: device-to-host transfer for this launch
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.device_bytes < 0:
+            raise ValueError("flops/bytes must be non-negative")
+        if not (0.0 < self.compute_efficiency <= 1.0):
+            raise ValueError(f"compute_efficiency {self.compute_efficiency} outside (0, 1]")
+        if not (0.0 < self.memory_efficiency <= 1.0):
+            raise ValueError(f"memory_efficiency {self.memory_efficiency} outside (0, 1]")
+        if self.divergence_factor < 1.0:
+            raise ValueError("divergence_factor must be >= 1")
+
+    def scaled(self, fraction: float) -> "KernelProfile":
+        """Profile for a sub-launch covering ``fraction`` of the work."""
+        if not (0.0 < fraction <= 1.0):
+            raise ValueError(f"fraction {fraction} outside (0, 1]")
+        return replace(
+            self,
+            flops=self.flops * fraction,
+            device_bytes=self.device_bytes * fraction,
+            h2d_bytes=self.h2d_bytes * fraction,
+            d2h_bytes=self.d2h_bytes * fraction,
+        )
+
+
+def kernel_time(profile: KernelProfile, spec: DeviceSpec) -> float:
+    """Predicted kernel execution time (seconds) on a device, excluding copies."""
+    compute_t = profile.flops / (spec.peak_flops * profile.compute_efficiency)
+    memory_t = profile.device_bytes / (spec.mem_bandwidth * profile.memory_efficiency)
+    return spec.launch_overhead_s + max(compute_t, memory_t) * profile.divergence_factor
+
+
+def kernel_gflops(profile: KernelProfile, spec: DeviceSpec) -> float:
+    """Achieved GFLOPS of one kernel execution (Fig. 6's metric)."""
+    t = kernel_time(profile, spec)
+    return profile.flops / t / 1e9 if t > 0 else 0.0
+
+
+def transfer_time(nbytes: float, spec: DeviceSpec) -> float:
+    """PCIe transfer time for ``nbytes`` (one direction)."""
+    if nbytes <= 0:
+        return 0.0
+    return spec.pcie_latency_s + nbytes / spec.pcie_bandwidth

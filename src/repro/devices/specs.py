@@ -1,0 +1,125 @@
+"""Static specifications of the many-core devices used in the paper.
+
+The paper evaluates on the DAS-4 accelerators: NVIDIA GTX480, K20, C2050,
+GTX680, Titan, AMD HD7970 and Intel Xeon Phi 5110P.  The numbers below are
+the devices' published single-precision peaks, memory bandwidths, memory
+sizes and PCI-Express generations; they drive the roofline kernel-time model
+(:mod:`repro.devices.perfmodel`).
+
+``static_speed`` is the entry of the paper's *static table of relative
+many-core device speeds* (Sec. III-B gives K20 = 40 and GTX480 = 20) used to
+bootstrap the intra-node load balancer before measured timings exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["DeviceSpec", "DEVICE_SPECS", "HOST_CPU", "CpuSpec", "device_spec"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Hardware parameters of one many-core device."""
+
+    name: str                 #: identifier, matches the MCL leaf hardware description
+    vendor: str               #: "nvidia" | "amd" | "intel"
+    kind: str                 #: "gpu" | "accelerator" (Xeon Phi)
+    peak_gflops_sp: float     #: single-precision peak, GFLOPS
+    mem_bandwidth_gbs: float  #: device memory bandwidth, GB/s
+    mem_bytes: float          #: device memory size, bytes
+    pcie_bandwidth_gbs: float #: effective host<->device bandwidth, GB/s
+    pcie_latency_s: float     #: per-transfer setup latency
+    launch_overhead_s: float  #: fixed overhead per kernel launch
+    static_speed: float       #: paper's static relative-speed table entry
+    sm_count: int             #: compute units (for granularity modeling)
+    l2_bytes: float = 768 * 1024.0  #: last-level cache (cache-aware traffic model)
+
+    @property
+    def peak_flops(self) -> float:
+        return self.peak_gflops_sp * 1e9
+
+    @property
+    def mem_bandwidth(self) -> float:
+        return self.mem_bandwidth_gbs * 1e9
+
+    @property
+    def pcie_bandwidth(self) -> float:
+        return self.pcie_bandwidth_gbs * 1e9
+
+
+_GB = 1024.0 ** 3
+
+#: The seven devices of the paper's evaluation (Sec. IV).
+DEVICE_SPECS: Dict[str, DeviceSpec] = {
+    "gtx480": DeviceSpec(
+        name="gtx480", vendor="nvidia", kind="gpu",
+        peak_gflops_sp=1345.0, mem_bandwidth_gbs=177.4, mem_bytes=1.5 * _GB,
+        pcie_bandwidth_gbs=5.7, pcie_latency_s=10e-6, launch_overhead_s=8e-6,
+        static_speed=20.0, sm_count=15, l2_bytes=768 * 1024.0,
+    ),
+    "k20": DeviceSpec(
+        name="k20", vendor="nvidia", kind="gpu",
+        peak_gflops_sp=3520.0, mem_bandwidth_gbs=208.0, mem_bytes=5.0 * _GB,
+        pcie_bandwidth_gbs=5.9, pcie_latency_s=10e-6, launch_overhead_s=7e-6,
+        static_speed=40.0, sm_count=13, l2_bytes=1536 * 1024.0,
+    ),
+    "c2050": DeviceSpec(
+        name="c2050", vendor="nvidia", kind="gpu",
+        peak_gflops_sp=1030.0, mem_bandwidth_gbs=144.0, mem_bytes=3.0 * _GB,
+        pcie_bandwidth_gbs=5.6, pcie_latency_s=10e-6, launch_overhead_s=8e-6,
+        static_speed=15.0, sm_count=14, l2_bytes=768 * 1024.0,
+    ),
+    "gtx680": DeviceSpec(
+        name="gtx680", vendor="nvidia", kind="gpu",
+        peak_gflops_sp=3090.0, mem_bandwidth_gbs=192.2, mem_bytes=2.0 * _GB,
+        pcie_bandwidth_gbs=6.0, pcie_latency_s=10e-6, launch_overhead_s=7e-6,
+        static_speed=35.0, sm_count=8, l2_bytes=512 * 1024.0,
+    ),
+    "titan": DeviceSpec(
+        name="titan", vendor="nvidia", kind="gpu",
+        peak_gflops_sp=4500.0, mem_bandwidth_gbs=288.4, mem_bytes=6.0 * _GB,
+        pcie_bandwidth_gbs=6.0, pcie_latency_s=10e-6, launch_overhead_s=7e-6,
+        static_speed=50.0, sm_count=14, l2_bytes=1536 * 1024.0,
+    ),
+    "hd7970": DeviceSpec(
+        name="hd7970", vendor="amd", kind="gpu",
+        peak_gflops_sp=3789.0, mem_bandwidth_gbs=264.0, mem_bytes=3.0 * _GB,
+        pcie_bandwidth_gbs=5.8, pcie_latency_s=12e-6, launch_overhead_s=10e-6,
+        static_speed=42.0, sm_count=32, l2_bytes=768 * 1024.0,
+    ),
+    "xeon_phi": DeviceSpec(
+        name="xeon_phi", vendor="intel", kind="accelerator",
+        peak_gflops_sp=2022.0, mem_bandwidth_gbs=320.0, mem_bytes=8.0 * _GB,
+        pcie_bandwidth_gbs=5.0, pcie_latency_s=20e-6, launch_overhead_s=40e-6,
+        static_speed=10.0, sm_count=60, l2_bytes=30 * 1024 * 1024.0,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """The host CPU of a DAS-4 node: dual quad-core Xeon E5620."""
+
+    name: str = "dual-xeon-e5620"
+    cores: int = 8
+    peak_gflops_sp_per_core: float = 9.6  #: 2.4 GHz x 4-wide SSE SP FMA-less
+    cpu_efficiency: float = 0.55          #: achievable fraction for Satin leaves
+
+    @property
+    def core_flops(self) -> float:
+        """Sustained single-core flop/s for a Satin leaf computation."""
+        return self.peak_gflops_sp_per_core * 1e9 * self.cpu_efficiency
+
+
+HOST_CPU = CpuSpec()
+
+
+def device_spec(name: str) -> DeviceSpec:
+    """Look up a device spec, with a helpful error for unknown devices."""
+    try:
+        return DEVICE_SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(DEVICE_SPECS))
+        raise KeyError(f"unknown device {name!r}; known devices: {known}") from None

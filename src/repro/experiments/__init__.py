@@ -1,0 +1,41 @@
+"""Experiment runners reproducing every table and figure of the paper.
+
+================ ==========================================
+id               what it reproduces
+================ ==========================================
+``table1``       Table I   — TOP500 heterogeneous machines
+``table2``       Table II  — application classification
+``fig6``         Fig. 6    — kernel GFLOPS, unopt vs opt
+``fig7_8``       Figs. 7/8 — raytracer scalability/perf
+``fig9_10``      Figs. 9/10 — matmul scalability/perf
+``fig11_12``     Figs. 11/12 — k-means scalability/perf
+``fig13_14``     Figs. 13/14 — n-body scalability/perf
+``table3``       Table III — heterogeneous performance
+``fig15``        Fig. 15   — heterogeneous efficiency
+``fig16_17``     Figs. 16/17 — k-means Gantt charts
+================ ==========================================
+"""
+
+from . import (  # noqa: F401
+    ablations,
+    fig6_kernels,
+    gantt,
+    heterogeneity,
+    papertables,
+    scalability,
+)
+from .harness import (
+    EXPERIMENTS,
+    ExperimentResult,
+    experiment,
+    list_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "experiment",
+    "run_experiment",
+    "list_experiments",
+]

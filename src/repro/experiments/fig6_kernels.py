@@ -1,0 +1,88 @@
+"""Fig. 6: kernel performance, unoptimized vs optimized, 4 apps x 7 devices.
+
+The paper times kernel execution alone, "without any overhead such as
+copying data to the device".  We do the same: the roofline model evaluates
+one paper-scale leaf launch per (application, device, version) and reports
+achieved GFLOPS.
+
+Expected shape (Sec. V-A): optimization has a drastic effect for matmul,
+k-means and n-body on every device, but almost none for the raytracer —
+its divergence is algorithmic and stepwise refinement cannot remove it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..apps.kmeans import KMeansApp
+from ..apps.matmul import MatmulApp
+from ..apps.nbody import NBodyApp
+from ..apps.raytracer import RaytracerApp
+from ..devices.perfmodel import kernel_gflops
+from ..devices.specs import DEVICE_SPECS, device_spec
+from ..mcl.hdl.library import leaf_names
+from .harness import ExperimentResult, experiment
+
+__all__ = ["fig6", "kernel_performance", "FIG6_LEAVES"]
+
+#: representative paper-scale leaf launch per application:
+#: (app class, kernel name, scalar parameters of one leaf)
+FIG6_LEAVES = {
+    "raytracer": (RaytracerApp, "raytrace",
+                  {"w": 16384, "h": 8192, "row0": 0, "nrows": 64,
+                   "ns": 500, "no": 9, "seed": 1}),
+    "matmul": (MatmulApp, "matmul",
+               {"n": 2048, "m": 2048, "p": 32768}),
+    "k-means": (KMeansApp, "kmeans",
+                {"nk": 4096, "d": 4, "np": 1 << 20}),
+    "n-body": (NBodyApp, "nbody",
+               {"nl": 1 << 14, "n": 2_000_000, "dt": 0.01}),
+}
+
+#: the paper's device order in Fig. 6
+FIG6_DEVICES = ["gtx480", "c2050", "gtx680", "k20", "titan", "hd7970",
+                "xeon_phi"]
+
+
+def kernel_performance() -> Dict[str, Dict[str, Dict[str, float]]]:
+    """GFLOPS per app per device for both kernel versions.
+
+    Returns ``{app: {device: {"unoptimized": g, "optimized": g}}}``.
+    """
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for app_name, (app_cls, kernel_name, params) in FIG6_LEAVES.items():
+        libs = {
+            "unoptimized": app_cls.build_library(optimized=False),
+            "optimized": app_cls.build_library(optimized=True),
+        }
+        per_device: Dict[str, Dict[str, float]] = {}
+        for device in leaf_names():
+            spec = device_spec(device)
+            per_device[device] = {}
+            for version, lib in libs.items():
+                compiled = lib.compile(kernel_name, device)
+                profile = compiled.profile(params)
+                per_device[device][version] = kernel_gflops(profile, spec)
+        out[app_name] = per_device
+    return out
+
+
+@experiment("fig6")
+def fig6() -> ExperimentResult:
+    """Fig. 6: kernel GFLOPS for the unoptimized and optimized versions."""
+    perf = kernel_performance()
+    rows = []
+    for app_name in FIG6_LEAVES:
+        for device in FIG6_DEVICES:
+            u = perf[app_name][device]["unoptimized"]
+            o = perf[app_name][device]["optimized"]
+            rows.append([app_name, device, round(u, 1), round(o, 1),
+                         round(o / u, 2) if u > 0 else float("inf")])
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="Kernel performance (GFLOPS), unoptimized vs optimized",
+        headers=["application", "device", "unoptimized", "optimized",
+                 "speedup"],
+        rows=rows,
+        extra={"performance": perf},
+    )

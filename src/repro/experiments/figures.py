@@ -1,0 +1,88 @@
+"""Turn experiment results into SVG figures mirroring the paper's plots.
+
+The benchmark harness calls :func:`svgs_for` on each
+:class:`~repro.experiments.harness.ExperimentResult` and writes the returned
+files next to the text tables under ``results/``:
+
+* figs. 7-14 — a speedup line chart (with the ideal-speedup reference) and
+  an absolute-GFLOPS line chart per application,
+* fig. 6 — one grouped bar chart per application (unoptimized/optimized per
+  device),
+* fig. 15 — the efficiency bar chart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..util.svgplot import bar_chart, line_chart
+from .harness import ExperimentResult
+
+__all__ = ["svgs_for"]
+
+_SCALABILITY_TITLES = {
+    "fig7_8": ("Fig. 7 — Raytracer scalability",
+               "Fig. 8 — Raytracer absolute performance"),
+    "fig9_10": ("Fig. 9 — Matmul scalability",
+                "Fig. 10 — Matmul absolute performance"),
+    "fig11_12": ("Fig. 11 — K-means scalability",
+                 "Fig. 12 — K-means absolute performance"),
+    "fig13_14": ("Fig. 13 — N-body scalability",
+                 "Fig. 14 — N-body absolute performance"),
+}
+
+
+def _scalability_svgs(result: ExperimentResult) -> Dict[str, str]:
+    study = result.extra["study"]
+    nodes = result.extra["node_counts"]
+    speedups = {system: [p.speedup for p in points]
+                for system, points in study.items()}
+    gflops = {system: [p.gflops for p in points]
+              for system, points in study.items()}
+    title_speed, title_abs = _SCALABILITY_TITLES[result.experiment_id]
+    first, second = result.experiment_id.replace("fig", "").split("_")
+    return {
+        f"fig{first}": line_chart(
+            title_speed, "GTX480 nodes", "speedup", nodes, speedups,
+            ideal=[n / nodes[0] for n in nodes]),
+        f"fig{second}": line_chart(
+            title_abs, "GTX480 nodes", "GFLOPS", nodes, gflops),
+    }
+
+
+def _fig6_svgs(result: ExperimentResult) -> Dict[str, str]:
+    perf = result.extra["performance"]
+    out: Dict[str, str] = {}
+    for app, per_device in perf.items():
+        devices = list(per_device)
+        series = {
+            "unoptimized": [per_device[d]["unoptimized"] for d in devices],
+            "optimized": [per_device[d]["optimized"] for d in devices],
+        }
+        slug = app.replace("-", "")
+        out[f"fig6_{slug}"] = bar_chart(
+            f"Fig. 6 — {app} kernel performance", "device", "GFLOPS",
+            devices, series)
+    return out
+
+
+def _fig15_svg(result: ExperimentResult) -> Dict[str, str]:
+    apps = [row[0] for row in result.rows]
+    series = {
+        "heterogeneous": [row[1] for row in result.rows],
+        "homogeneous": [row[2] for row in result.rows],
+    }
+    return {"fig15": bar_chart(
+        "Fig. 15 — Efficiency of heterogeneous executions",
+        "application", "efficiency (%)", apps, series)}
+
+
+def svgs_for(result: ExperimentResult) -> Dict[str, str]:
+    """SVG figures for an experiment result (empty dict if none apply)."""
+    if result.experiment_id in _SCALABILITY_TITLES:
+        return _scalability_svgs(result)
+    if result.experiment_id == "fig6":
+        return _fig6_svgs(result)
+    if result.experiment_id == "fig15":
+        return _fig15_svg(result)
+    return {}

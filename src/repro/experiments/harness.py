@@ -1,0 +1,67 @@
+"""Experiment harness: result containers, registry, and report rendering.
+
+Every table and figure of the paper's evaluation has a runner here (see the
+per-experiment index in DESIGN.md).  Runners return structured results and
+can render them as the text tables the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..util.tables import format_series, format_table
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "experiment", "run_experiment",
+           "list_experiments"]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment runner."""
+
+    experiment_id: str            #: e.g. "fig6", "table3"
+    title: str
+    headers: List[str]
+    rows: List[List[Any]]
+    #: free-form extras (raw series, traces, ...)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return format_table(self.headers, self.rows,
+                            title=f"[{self.experiment_id}] {self.title}")
+
+
+#: experiment id -> runner registry
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def experiment(experiment_id: str):
+    """Decorator registering an experiment runner under its paper id."""
+
+    def wrap(fn: Callable[..., ExperimentResult]):
+        if experiment_id in EXPERIMENTS:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        EXPERIMENTS[experiment_id] = fn
+        fn.experiment_id = experiment_id
+        return fn
+
+    return wrap
+
+
+def run_experiment(experiment_id: str, **kwargs: Any) -> ExperimentResult:
+    """Run a registered experiment by id (importing runners lazily)."""
+    from . import (  # noqa: F401
+        ablations, fig6_kernels, gantt, heterogeneity, papertables, scalability)
+    try:
+        fn = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: "
+                       f"{sorted(EXPERIMENTS)}") from None
+    return fn(**kwargs)
+
+
+def list_experiments() -> List[str]:
+    from . import (  # noqa: F401
+        ablations, fig6_kernels, gantt, heterogeneity, papertables, scalability)
+    return sorted(EXPERIMENTS)

@@ -1,0 +1,144 @@
+"""Table III and Fig. 15: heterogeneous executions.
+
+Table III reports the performance (GFLOPS) of the four applications on
+heterogeneous DAS-4 configurations; Fig. 15 the *efficiency*: measured
+performance divided by the maximum attainable — the sum over the
+configuration's nodes of each node type's one-node performance (Sec. IV).
+Both use optimized kernels.
+
+Expected shape (Sec. V-C): heterogeneous efficiency comparable to the
+homogeneous (16x GTX480) runs, >90 % for raytracer, k-means and n-body;
+lower for the communication-bound matmul.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..apps.base import run_cashmere
+from ..cluster.das4 import (
+    ClusterConfig,
+    gtx480_cluster,
+    heterogeneous_kmeans,
+    heterogeneous_nbody,
+    heterogeneous_small,
+)
+from ..core.runtime import CashmereConfig
+from .harness import ExperimentResult, experiment
+from .scalability import APP_BUILDERS
+
+__all__ = ["HeterogeneityResult", "heterogeneous_run", "table3", "fig15",
+           "HET_CONFIGS"]
+
+#: application -> heterogeneous configuration builder (Table III)
+HET_CONFIGS = {
+    "raytracer": heterogeneous_small,
+    "matmul": heterogeneous_small,
+    "k-means": heterogeneous_kmeans,
+    "n-body": heterogeneous_nbody,
+}
+
+
+@dataclass
+class HeterogeneityResult:
+    app: str
+    config_name: str
+    device_counts: Dict[str, int]
+    het_gflops: float
+    max_attainable_gflops: float
+    het_efficiency: float
+    homogeneous_gflops: float
+    homogeneous_efficiency: float
+
+
+def _one_node_gflops(app_name: str, devices: Tuple[str, ...],
+                     seed: int = 42) -> float:
+    """One-node run on a node carrying the given device set."""
+    app = APP_BUILDERS[app_name](False)
+    config = ClusterConfig(name=f"one-{'-'.join(devices)}",
+                           nodes=[tuple(devices)])
+    result = run_cashmere(app, config, app.root_task(), optimized=True,
+                          config=CashmereConfig(seed=seed))
+    return result.stats.gflops()
+
+
+def heterogeneous_run(app_name: str, seed: int = 42,
+                      homogeneous_nodes: int = 16) -> HeterogeneityResult:
+    """One heterogeneous execution with the efficiency bookkeeping of Sec. IV."""
+    config = HET_CONFIGS[app_name]()
+    app = APP_BUILDERS[app_name](False)
+    result = run_cashmere(app, config, app.root_task(), optimized=True,
+                          config=CashmereConfig(seed=seed))
+    het_gflops = result.stats.gflops()
+
+    # Maximum attainable: sum of one-node performance per node type.
+    node_types: Dict[Tuple[str, ...], int] = {}
+    for devices in config.nodes:
+        node_types[devices] = node_types.get(devices, 0) + 1
+    max_attainable = 0.0
+    for devices, count in node_types.items():
+        max_attainable += count * _one_node_gflops(app_name, devices, seed)
+
+    # Homogeneous reference: 16x GTX480 (Sec. V-C compares to Sec. V-B).
+    homo_app = APP_BUILDERS[app_name](False)
+    homo = run_cashmere(homo_app, gtx480_cluster(homogeneous_nodes),
+                        homo_app.root_task(), optimized=True,
+                        config=CashmereConfig(seed=seed))
+    homo_gflops = homo.stats.gflops()
+    one_gtx480 = _one_node_gflops(app_name, ("gtx480",), seed)
+
+    return HeterogeneityResult(
+        app=app_name,
+        config_name=config.name,
+        device_counts=config.device_counts(),
+        het_gflops=het_gflops,
+        max_attainable_gflops=max_attainable,
+        het_efficiency=het_gflops / max_attainable if max_attainable else 0.0,
+        homogeneous_gflops=homo_gflops,
+        homogeneous_efficiency=(homo_gflops / (homogeneous_nodes * one_gtx480)
+                                if one_gtx480 else 0.0),
+    )
+
+
+def _config_label(counts: Dict[str, int]) -> str:
+    return ", ".join(f"{n} {dev}" for dev, n in sorted(counts.items()))
+
+
+@experiment("table3")
+def table3(seed: int = 42) -> ExperimentResult:
+    """Table III: performance of the heterogeneous executions."""
+    rows = []
+    results = {}
+    for app_name in HET_CONFIGS:
+        r = heterogeneous_run(app_name, seed=seed)
+        results[app_name] = r
+        rows.append([app_name, round(r.het_gflops, 0),
+                     _config_label(r.device_counts)])
+    return ExperimentResult(
+        experiment_id="table3",
+        title="Performance of the heterogeneous executions",
+        headers=["application", "performance (GFLOPS)", "configuration"],
+        rows=rows,
+        extra={"results": results},
+    )
+
+
+@experiment("fig15")
+def fig15(seed: int = 42) -> ExperimentResult:
+    """Fig. 15: efficiency of heterogeneous vs homogeneous executions."""
+    rows = []
+    results = {}
+    for app_name in HET_CONFIGS:
+        r = heterogeneous_run(app_name, seed=seed)
+        results[app_name] = r
+        rows.append([app_name,
+                     round(100 * r.het_efficiency, 1),
+                     round(100 * r.homogeneous_efficiency, 1)])
+    return ExperimentResult(
+        experiment_id="fig15",
+        title="Efficiency of heterogeneous executions (percent)",
+        headers=["application", "heterogeneous eff. %", "homogeneous eff. %"],
+        rows=rows,
+        extra={"results": results},
+    )

@@ -1,0 +1,58 @@
+"""Tables I and II of the paper (static context tables).
+
+Table I lists TOP500 supercomputers (Nov 2014) with heterogeneous many-core
+devices; Table II classifies the four evaluation applications.  Both are
+reproduced verbatim so the benchmark harness prints the same rows.
+"""
+
+from __future__ import annotations
+
+from .harness import ExperimentResult, experiment
+
+__all__ = ["table1", "table2", "TOP500_HETEROGENEOUS", "APPLICATION_CLASSES"]
+
+#: Table I — TOP500 supercomputers with heterogeneous many-core devices.
+TOP500_HETEROGENEOUS = [
+    ("Quartetto", "Kyushu University", 49, "K20, K20X, Xeon Phi 5110P"),
+    ("Lomonosov", "Moscow State University", 58, "2070, PowerXCell 8i"),
+    ("HYDRA", "Max-Planck-Gesellschaft MPI/IPP", 77, "K20X, Xeon Phi"),
+    ("SuperMIC", "Louisiana State University", 88, "Xeon Phi 7110P, K20X"),
+    ("Palmetto2", "Clemson University", 89, "K20m, M2075, M2070"),
+    ("Armstrong", "Navy DSRC", 103, "Xeon Phi 5120D, K40"),
+    ("Loewe-CSC", "Universitaet Frankfurt", 179, "HD5870, FirePro S10000"),
+    ("Inspur TS10000", "Shanghai Jiaotong University", 310,
+     "K20m, Xeon Phi 5110P"),
+    ("Tsubame 2.5", "Tokyo Institute of Technology", 392,
+     "K20X, S1070, S2070"),
+    ("El Gato", "University of Arizona", 465, "K20, K20X, Xeon Phi 5110P"),
+]
+
+#: Table II — application classes used to evaluate Cashmere.
+APPLICATION_CLASSES = [
+    ("raytracer", "irregular", "heavy", "light"),
+    ("matmul", "regular", "heavy", "heavy"),
+    ("k-means", "iterative", "moderate", "light"),
+    ("n-body", "iterative", "heavy", "moderate"),
+]
+
+
+@experiment("table1")
+def table1() -> ExperimentResult:
+    """Table I: TOP500 supercomputers with heterogeneous many-core devices."""
+    return ExperimentResult(
+        experiment_id="table1",
+        title="TOP500 supercomputers with heterogeneous many-core devices",
+        headers=["name", "institute", "ranking", "configuration"],
+        rows=[list(r) for r in TOP500_HETEROGENEOUS],
+    )
+
+
+@experiment("table2")
+def table2() -> ExperimentResult:
+    """Table II: the classes of applications used to evaluate Cashmere."""
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Classes of applications used to evaluate Cashmere",
+        headers=["application", "type", "computation", "communication"],
+        rows=[list(r) for r in APPLICATION_CLASSES],
+    )

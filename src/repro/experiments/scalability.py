@@ -1,0 +1,170 @@
+"""Figs. 7-14: scalability and absolute performance, 1-16 GTX480 nodes.
+
+For each application the paper runs three systems (Sec. IV):
+
+* **Satin** — the original CPU-only runtime; leaves are single-threaded, so
+  8 workers per node and ~8x more jobs are needed to fill a node,
+* **Cashmere, non-optimized kernels** — level-``perfect`` kernels only,
+* **Cashmere, optimized kernels** — the per-level optimized versions.
+
+All runs strong-scale the paper-size problem.  "Scalability" figures
+(7/9/11/13) plot speedup relative to the same system's one-node run;
+"absolute performance" figures (8/10/12/14) plot application GFLOPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..apps.base import run_cashmere, run_satin
+from ..apps.kmeans import KMeansApp
+from ..apps.matmul import MatmulApp
+from ..apps.nbody import NBodyApp
+from ..apps.raytracer import RaytracerApp
+from ..cluster.das4 import gtx480_cluster, satin_cpu_cluster
+from ..core.runtime import CashmereConfig
+from ..satin.runtime import RuntimeConfig
+from .harness import ExperimentResult, experiment
+
+__all__ = ["ScalabilityPoint", "scalability_study", "APP_BUILDERS",
+           "SYSTEMS", "fig7_8", "fig9_10", "fig11_12", "fig13_14"]
+
+SYSTEMS = ("satin", "cashmere-unopt", "cashmere-opt")
+DEFAULT_NODE_COUNTS = (1, 2, 4, 8, 16)
+
+
+def _raytracer(satin: bool) -> RaytracerApp:
+    # Satin's single-threaded leaves need ~8x finer granularity.
+    return RaytracerApp(leaf_rows=8 if satin else 16)
+
+
+def _matmul(satin: bool) -> MatmulApp:
+    return MatmulApp(leaf_block=1024 if satin else 2048)
+
+
+def _kmeans(satin: bool) -> KMeansApp:
+    return KMeansApp(n_points=1 << 28,
+                     leaf_points=(1 << 16) if satin else (1 << 18))
+
+
+def _nbody(satin: bool) -> NBodyApp:
+    return NBodyApp(n_bodies=1 << 21,
+                    leaf_bodies=(1 << 9) if satin else (1 << 10))
+
+
+#: application name -> builder(satin: bool) -> fresh app instance
+APP_BUILDERS: Dict[str, Callable[[bool], object]] = {
+    "raytracer": _raytracer,
+    "matmul": _matmul,
+    "k-means": _kmeans,
+    "n-body": _nbody,
+}
+
+
+@dataclass
+class ScalabilityPoint:
+    nodes: int
+    makespan_s: float
+    gflops: float
+    speedup: float = 1.0
+
+
+def _run_one(app_name: str, system: str, nodes: int, seed: int = 42):
+    builder = APP_BUILDERS[app_name]
+    if system == "satin":
+        app = builder(True)
+        result = run_satin(app, satin_cpu_cluster(nodes), app.root_task(),
+                           config=RuntimeConfig(seed=seed))
+    elif system in ("cashmere-unopt", "cashmere-opt"):
+        app = builder(False)
+        result = run_cashmere(app, gtx480_cluster(nodes), app.root_task(),
+                              optimized=(system == "cashmere-opt"),
+                              config=CashmereConfig(seed=seed))
+    else:
+        raise ValueError(f"unknown system {system!r}; known: {SYSTEMS}")
+    return result
+
+
+def scalability_study(app_name: str,
+                      node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+                      systems: Sequence[str] = SYSTEMS,
+                      seed: int = 42) -> Dict[str, List[ScalabilityPoint]]:
+    """Run the full study for one application."""
+    if app_name not in APP_BUILDERS:
+        raise KeyError(f"unknown application {app_name!r}; known: "
+                       f"{sorted(APP_BUILDERS)}")
+    out: Dict[str, List[ScalabilityPoint]] = {}
+    for system in systems:
+        points: List[ScalabilityPoint] = []
+        base: float = 0.0
+        for nodes in node_counts:
+            result = _run_one(app_name, system, nodes, seed=seed)
+            stats = result.stats
+            if not points:
+                base = stats.makespan_s
+            points.append(ScalabilityPoint(
+                nodes=nodes,
+                makespan_s=stats.makespan_s,
+                gflops=stats.gflops(),
+                speedup=base / stats.makespan_s if stats.makespan_s > 0 else 0.0,
+            ))
+        out[system] = points
+    return out
+
+
+def _figure_pair(app_name: str, experiment_id: str, title: str,
+                 node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+                 systems: Sequence[str] = SYSTEMS) -> ExperimentResult:
+    study = scalability_study(app_name, node_counts=node_counts,
+                              systems=systems)
+    rows = []
+    for i, nodes in enumerate(node_counts):
+        row: List = [nodes]
+        for system in systems:
+            pt = study[system][i]
+            row += [round(pt.speedup, 2), round(pt.gflops, 1)]
+        rows.append(row)
+    headers = ["nodes"]
+    for system in systems:
+        headers += [f"{system} speedup", f"{system} GFLOPS"]
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        headers=headers,
+        rows=rows,
+        extra={"study": study, "node_counts": list(node_counts)},
+    )
+
+
+@experiment("fig7_8")
+def fig7_8(**kwargs) -> ExperimentResult:
+    """Figs. 7/8: raytracer scalability + absolute performance."""
+    return _figure_pair("raytracer", "fig7_8",
+                        "Raytracer, 1-16 GTX480 nodes "
+                        "(Cornell 16384x8192, 500 samples)", **kwargs)
+
+
+@experiment("fig9_10")
+def fig9_10(**kwargs) -> ExperimentResult:
+    """Figs. 9/10: matrix multiplication scalability + absolute performance."""
+    return _figure_pair("matmul", "fig9_10",
+                        "Matrix multiplication, 1-16 GTX480 nodes "
+                        "(32768x32768 single precision)", **kwargs)
+
+
+@experiment("fig11_12")
+def fig11_12(**kwargs) -> ExperimentResult:
+    """Figs. 11/12: k-means scalability + absolute performance."""
+    return _figure_pair("k-means", "fig11_12",
+                        "K-means, 1-16 GTX480 nodes "
+                        "(268M points, 4 features, 4096 clusters, 3 iters)",
+                        **kwargs)
+
+
+@experiment("fig13_14")
+def fig13_14(**kwargs) -> ExperimentResult:
+    """Figs. 13/14: n-body scalability + absolute performance."""
+    return _figure_pair("n-body", "fig13_14",
+                        "N-body, 1-16 GTX480 nodes (2M bodies, 2 iters)",
+                        **kwargs)

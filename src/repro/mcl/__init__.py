@@ -1,0 +1,53 @@
+"""Many-Core Levels (MCL): kernels for varying many-core hardware.
+
+MCL (Hijma et al., "Stepwise-refinement for performance") provides:
+
+* a hierarchy of hardware descriptions (:mod:`repro.mcl.hdl`),
+* the MCPL kernel language (:mod:`repro.mcl.mcpl`),
+* a compiler with level translation, performance feedback, static cost
+  analysis and OpenCL/glue code generation (:mod:`repro.mcl.compiler`),
+* kernel-version management with most-specific selection per device
+  (:mod:`repro.mcl.kernels`).
+"""
+
+from .compiler import (
+    EfficiencyEstimate,
+    FeedbackItem,
+    KernelAnalysis,
+    LaunchConfig,
+    analyze_cost,
+    derive_launch_config,
+    estimate_efficiency,
+    generate_opencl,
+    get_feedback,
+    is_optimized_for,
+    translate,
+)
+from .hdl import builtin_library, get_description, leaf_names, parse_hdl
+from .kernels import CompiledKernel, KernelLibrary, KernelVersion
+from .mcpl import analyze, execute, parse_kernel, parse_kernels
+
+__all__ = [
+    "KernelLibrary",
+    "KernelVersion",
+    "CompiledKernel",
+    "parse_kernel",
+    "parse_kernels",
+    "analyze",
+    "execute",
+    "translate",
+    "get_feedback",
+    "is_optimized_for",
+    "analyze_cost",
+    "KernelAnalysis",
+    "generate_opencl",
+    "derive_launch_config",
+    "LaunchConfig",
+    "estimate_efficiency",
+    "EfficiencyEstimate",
+    "FeedbackItem",
+    "builtin_library",
+    "get_description",
+    "leaf_names",
+    "parse_hdl",
+]

@@ -1,0 +1,23 @@
+"""The MCL compiler: analysis, feedback, translation, codegen, efficiency."""
+
+from .analysis import DEFAULT_WHILE_TRIPS, KernelAnalysis, analyze_cost
+from .codegen import LaunchConfig, derive_launch_config, generate_opencl
+from .efficiency import EfficiencyEstimate, estimate_efficiency
+from .feedback import FeedbackItem, get_feedback, is_optimized_for
+from .translate import TranslationError, translate
+
+__all__ = [
+    "KernelAnalysis",
+    "analyze_cost",
+    "DEFAULT_WHILE_TRIPS",
+    "FeedbackItem",
+    "get_feedback",
+    "is_optimized_for",
+    "translate",
+    "TranslationError",
+    "generate_opencl",
+    "derive_launch_config",
+    "LaunchConfig",
+    "EfficiencyEstimate",
+    "estimate_efficiency",
+]

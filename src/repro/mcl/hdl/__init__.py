@@ -1,0 +1,24 @@
+"""HDL: MCL's hardware description language and built-in library."""
+
+from .ast import HardwareDescription, MemorySpace, ParUnit
+from .library import (
+    BUILTIN_HDL_SOURCE,
+    builtin_library,
+    get_description,
+    leaf_names,
+    root_description,
+)
+from .parser import HdlSyntaxError, parse_hdl
+
+__all__ = [
+    "HardwareDescription",
+    "MemorySpace",
+    "ParUnit",
+    "parse_hdl",
+    "HdlSyntaxError",
+    "builtin_library",
+    "get_description",
+    "root_description",
+    "leaf_names",
+    "BUILTIN_HDL_SOURCE",
+]

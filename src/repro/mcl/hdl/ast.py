@@ -1,0 +1,114 @@
+"""AST / object model for MCL hardware descriptions.
+
+A *hardware description* (Sec. II-B) defines a level of abstraction: the
+memory spaces a kernel may address, the *parallelism abstractions* it may use
+in ``foreach`` statements (e.g. ``threads`` on level ``perfect``; ``blocks``
+and ``threads`` on level ``gpu``; ``cores`` and ``vectors`` on
+``xeon_phi``), and device parameters.  Descriptions form a tree: each child
+adds detail about the hardware, which is what makes the compiler's feedback
+progressively more precise during stepwise refinement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["MemorySpace", "ParUnit", "HardwareDescription"]
+
+
+@dataclass(frozen=True)
+class MemorySpace:
+    """One addressable memory space of a hardware description."""
+
+    name: str                       #: e.g. "main", "local", "regs"
+    capacity_bytes: Optional[float]  #: None = unlimited (level ``perfect``)
+    latency_cycles: int             #: relative access latency
+    shared: bool = False            #: shared among the work-items of one group
+
+
+@dataclass(frozen=True)
+class ParUnit:
+    """One parallelism abstraction usable in ``foreach ... in n <unit>``."""
+
+    name: str                  #: identifier referenced by MCPL kernels
+    max_count: Optional[int]   #: None = unlimited
+    group_of: Optional[str] = None   #: unit this one is nested inside (e.g. threads in blocks)
+    simd: bool = False         #: lock-step execution (warps, vector lanes)
+
+
+@dataclass
+class HardwareDescription:
+    """A node in the hardware-description hierarchy."""
+
+    name: str
+    parent: Optional["HardwareDescription"] = None
+    memory_spaces: Dict[str, MemorySpace] = field(default_factory=dict)
+    par_units: Dict[str, ParUnit] = field(default_factory=dict)
+    params: Dict[str, float] = field(default_factory=dict)
+    children: List["HardwareDescription"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.parent is not None:
+            self.parent.children.append(self)
+
+    # -- hierarchy queries ---------------------------------------------------
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def ancestry(self) -> List["HardwareDescription"]:
+        """Path from the root (``perfect``) down to this description."""
+        path: List[HardwareDescription] = []
+        node: Optional[HardwareDescription] = self
+        while node is not None:
+            path.append(node)
+            node = node.parent
+        return list(reversed(path))
+
+    def level_names(self) -> List[str]:
+        return [hd.name for hd in self.ancestry()]
+
+    def is_descendant_of(self, name: str) -> bool:
+        return name in self.level_names()
+
+    def leaves(self) -> List["HardwareDescription"]:
+        if self.is_leaf:
+            return [self]
+        out: List[HardwareDescription] = []
+        for child in self.children:
+            out.extend(child.leaves())
+        return out
+
+    def find(self, name: str) -> Optional["HardwareDescription"]:
+        """Search this subtree for a description by name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            hit = child.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    # -- lookups with inheritance --------------------------------------------
+    def par_unit(self, name: str) -> Optional[ParUnit]:
+        """Resolve a parallelism unit, falling back to ancestor levels."""
+        for hd in reversed(self.ancestry()):
+            if name in hd.par_units:
+                return hd.par_units[name]
+        return None
+
+    def memory_space(self, name: str) -> Optional[MemorySpace]:
+        for hd in reversed(self.ancestry()):
+            if name in hd.memory_spaces:
+                return hd.memory_spaces[name]
+        return None
+
+    def param(self, name: str, default: Optional[float] = None) -> Optional[float]:
+        for hd in reversed(self.ancestry()):
+            if name in hd.params:
+                return hd.params[name]
+        return default
+
+    def __repr__(self) -> str:
+        return f"<HardwareDescription {'/'.join(self.level_names())}>"

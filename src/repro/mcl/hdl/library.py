@@ -1,0 +1,163 @@
+"""The built-in library of hardware descriptions (the paper's Fig. 2).
+
+The hierarchy used for Cashmere::
+
+    perfect
+    └── accelerator
+        ├── gpu
+        │   ├── nvidia
+        │   │   ├── fermi   ── gtx480, c2050
+        │   │   └── kepler  ── k20, gtx680, titan
+        │   └── amd         ── hd7970
+        └── mic             ── xeon_phi
+
+Seven leaves: the seven device types of the DAS-4 evaluation.  Each child
+level adds hardware detail (finite memories, warp sizes, vector widths),
+which is what gives the compiler progressively sharper feedback during
+stepwise refinement.
+
+The library is written in HDL source and parsed by :mod:`.parser`, so the
+HDL front-end is exercised on every import.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .ast import HardwareDescription
+from .parser import parse_hdl
+
+__all__ = ["BUILTIN_HDL_SOURCE", "builtin_library", "get_description",
+           "root_description", "leaf_names"]
+
+BUILTIN_HDL_SOURCE = """
+// Level "perfect": idealized hardware with unlimited compute units and
+// 1-cycle memory (Sec. II-B).  Kernels written here are the "unoptimized"
+// versions of the evaluation.
+hardware_description perfect {
+    memory main { capacity unlimited; latency 1; }
+    par_unit threads { count unlimited; }
+}
+
+// Any PCIe-attached device: finite off-chip memory, host on the other side
+// of a slow bus.
+hardware_description accelerator extends perfect {
+    memory main { capacity 1gb; latency 400; }
+    param pcie_latency_us 10;
+}
+
+// Generic GPU: work-groups of threads with fast on-chip local memory.
+hardware_description gpu extends accelerator {
+    memory local   { capacity 32kb; latency 4; shared; }
+    memory private { capacity 256kb; latency 1; }
+    par_unit blocks  { count unlimited; }
+    par_unit threads { count 1024; in blocks; }
+    param max_block_threads 1024;
+}
+
+hardware_description nvidia extends gpu {
+    memory local { capacity 48kb; latency 4; shared; }
+    par_unit warps { count 32; in blocks; simd; }
+    param warp_size 32;
+}
+
+hardware_description fermi extends nvidia {
+    param sm_count 15;
+    param l2_bytes 768k;
+}
+
+hardware_description kepler extends nvidia {
+    param sm_count 13;
+    param l2_bytes 1536k;
+}
+
+hardware_description gtx480 extends fermi {
+    memory main { capacity 1.5gb; latency 400; }
+    param sm_count 15;
+    param clock_mhz 1401;
+}
+
+hardware_description c2050 extends fermi {
+    memory main { capacity 3gb; latency 400; }
+    param sm_count 14;
+    param clock_mhz 1150;
+}
+
+hardware_description k20 extends kepler {
+    memory main { capacity 5gb; latency 400; }
+    param sm_count 13;
+    param clock_mhz 706;
+}
+
+hardware_description gtx680 extends kepler {
+    memory main { capacity 2gb; latency 400; }
+    param sm_count 8;
+    param clock_mhz 1006;
+}
+
+hardware_description titan extends kepler {
+    memory main { capacity 6gb; latency 400; }
+    param sm_count 14;
+    param clock_mhz 837;
+}
+
+hardware_description amd extends gpu {
+    memory local { capacity 64kb; latency 4; shared; }
+    par_unit wavefronts { count 64; in blocks; simd; }
+    param wavefront_size 64;
+}
+
+hardware_description hd7970 extends amd {
+    memory main { capacity 3gb; latency 400; }
+    param cu_count 32;
+    param clock_mhz 925;
+}
+
+// Xeon Phi: many in-order cores with wide vector units; needs much more
+// coarse-grained parallelism than a GPU (Sec. III-A).
+hardware_description mic extends accelerator {
+    memory local   { capacity 512kb; latency 10; }
+    memory private { capacity 128kb; latency 1; }
+    par_unit cores   { count 61; }
+    par_unit threads { count 4; in cores; }
+    par_unit vectors { count 16; in threads; simd; }
+    param vector_width 16;
+}
+
+hardware_description xeon_phi extends mic {
+    memory main { capacity 8gb; latency 300; }
+    param core_count 60;
+    param clock_mhz 1053;
+}
+"""
+
+_LIBRARY: Dict[str, HardwareDescription] = {}
+
+
+def builtin_library() -> Dict[str, HardwareDescription]:
+    """Return (parsing once) the built-in hardware description registry."""
+    global _LIBRARY
+    if not _LIBRARY:
+        _LIBRARY = parse_hdl(BUILTIN_HDL_SOURCE)
+    return _LIBRARY
+
+
+def get_description(name: str) -> HardwareDescription:
+    lib = builtin_library()
+    try:
+        return lib[name]
+    except KeyError:
+        known = ", ".join(sorted(lib))
+        raise KeyError(
+            f"no hardware description {name!r}; Cashmere suggests adding one "
+            f"(known: {known})"
+        ) from None
+
+
+def root_description() -> HardwareDescription:
+    return get_description("perfect")
+
+
+def leaf_names() -> List[str]:
+    """Names of the seven leaf devices."""
+    return sorted(hd.name for hd in root_description().leaves())

@@ -1,0 +1,198 @@
+"""Parser for HDL, MCL's hardware description language.
+
+The concrete syntax is small and declarative::
+
+    hardware_description gpu extends accelerator {
+        memory main  { capacity 1gb; latency 400; }
+        memory local { capacity 48kb; latency 4; shared; }
+        par_unit blocks  { count unlimited; }
+        par_unit threads { count 1024; in blocks; }
+        param warp_size 32;
+    }
+
+Sizes accept ``kb``/``mb``/``gb`` suffixes and the word ``unlimited``.
+:func:`parse_hdl` parses a file with any number of descriptions and resolves
+``extends`` references, returning a name -> :class:`HardwareDescription` map.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .ast import HardwareDescription, MemorySpace, ParUnit
+
+__all__ = ["parse_hdl", "HdlSyntaxError"]
+
+
+class HdlSyntaxError(ValueError):
+    """Raised on malformed HDL input."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<number>\d+(?:\.\d+)?(?:[kmg]b|[kmg])?)
+  | (?P<punct>[{};])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE | re.DOTALL | re.IGNORECASE,
+)
+
+_SIZE_SUFFIX = {"kb": 1024.0, "mb": 1024.0 ** 2, "gb": 1024.0 ** 3,
+                "k": 1e3, "m": 1e6, "g": 1e9}
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise HdlSyntaxError(f"unexpected character {text[pos]!r} at offset {pos}")
+        pos = m.end()
+        if m.lastgroup in ("ws", "comment"):
+            continue
+        tokens.append(m.group())
+    return tokens
+
+
+def _parse_size(token: str) -> Optional[float]:
+    if token == "unlimited":
+        return None
+    m = re.fullmatch(r"(\d+(?:\.\d+)?)([kmg]b|[kmg])?", token, re.IGNORECASE)
+    if not m:
+        raise HdlSyntaxError(f"bad size {token!r}")
+    value = float(m.group(1))
+    if m.group(2):
+        value *= _SIZE_SUFFIX[m.group(2).lower()]
+    return value
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise HdlSyntaxError("unexpected end of input")
+        self.pos += 1
+        return tok
+
+    def expect(self, token: str) -> None:
+        tok = self.next()
+        if tok != token:
+            raise HdlSyntaxError(f"expected {token!r}, got {tok!r}")
+
+    # hardware_description NAME [extends NAME] { body }
+    def parse_description(self) -> Tuple[str, Optional[str], dict]:
+        self.expect("hardware_description")
+        name = self.next()
+        parent = None
+        if self.peek() == "extends":
+            self.next()
+            parent = self.next()
+        self.expect("{")
+        body = {"memory": {}, "par_units": {}, "params": {}}
+        while self.peek() != "}":
+            kind = self.next()
+            if kind == "memory":
+                mname, space = self._parse_memory()
+                body["memory"][mname] = space
+            elif kind == "par_unit":
+                pname, unit = self._parse_par_unit()
+                body["par_units"][pname] = unit
+            elif kind == "param":
+                pname = self.next()
+                value = _parse_size(self.next())
+                self.expect(";")
+                body["params"][pname] = value
+            else:
+                raise HdlSyntaxError(f"unknown section {kind!r}")
+        self.expect("}")
+        return name, parent, body
+
+    def _parse_memory(self) -> Tuple[str, MemorySpace]:
+        name = self.next()
+        self.expect("{")
+        capacity: Optional[float] = None
+        latency = 1
+        shared = False
+        while self.peek() != "}":
+            prop = self.next()
+            if prop == "capacity":
+                capacity = _parse_size(self.next())
+            elif prop == "latency":
+                latency = int(float(self.next()))
+            elif prop == "shared":
+                shared = True
+            else:
+                raise HdlSyntaxError(f"unknown memory property {prop!r}")
+            self.expect(";")
+        self.expect("}")
+        return name, MemorySpace(name=name, capacity_bytes=capacity,
+                                 latency_cycles=latency, shared=shared)
+
+    def _parse_par_unit(self) -> Tuple[str, ParUnit]:
+        name = self.next()
+        self.expect("{")
+        max_count: Optional[int] = None
+        group_of: Optional[str] = None
+        simd = False
+        while self.peek() != "}":
+            prop = self.next()
+            if prop == "count":
+                size = _parse_size(self.next())
+                max_count = None if size is None else int(size)
+            elif prop == "in":
+                group_of = self.next()
+            elif prop == "simd":
+                simd = True
+            else:
+                raise HdlSyntaxError(f"unknown par_unit property {prop!r}")
+            self.expect(";")
+        self.expect("}")
+        return name, ParUnit(name=name, max_count=max_count, group_of=group_of, simd=simd)
+
+
+def parse_hdl(text: str,
+              existing: Optional[Dict[str, HardwareDescription]] = None
+              ) -> Dict[str, HardwareDescription]:
+    """Parse HDL source; returns name -> description for all definitions.
+
+    ``existing`` lets a file extend descriptions defined elsewhere (as the
+    built-in library does when users add a description for a new device,
+    cf. Sec. III-B "Cashmere suggests to add a hardware description").  The
+    existing registry is deep-copied so extending it never mutates shared
+    hierarchies like the built-in library.
+    """
+    import copy
+
+    parser = _Parser(_tokenize(text))
+    registry: Dict[str, HardwareDescription] = copy.deepcopy(existing) if existing else {}
+    defined: Dict[str, HardwareDescription] = {}
+    while parser.peek() is not None:
+        name, parent_name, body = parser.parse_description()
+        if name in registry:
+            raise HdlSyntaxError(f"duplicate hardware description {name!r}")
+        parent = None
+        if parent_name is not None:
+            parent = registry.get(parent_name)
+            if parent is None:
+                raise HdlSyntaxError(
+                    f"{name!r} extends unknown description {parent_name!r}")
+        hd = HardwareDescription(
+            name=name, parent=parent,
+            memory_spaces=body["memory"],
+            par_units=body["par_units"],
+            params=body["params"],
+        )
+        registry[name] = hd
+        defined[name] = hd
+    return registry

@@ -1,0 +1,22 @@
+"""MCPL: MCL's kernel programming language (lexer, parser, semantics, interpreter)."""
+
+from . import ast
+from .interpreter import McplRuntimeError, execute
+from .lexer import McplSyntaxError, Token, tokenize
+from .parser import parse_kernel, parse_kernels
+from .semantics import BUILTIN_FUNCTIONS, KernelInfo, McplSemanticError, analyze
+
+__all__ = [
+    "ast",
+    "tokenize",
+    "Token",
+    "McplSyntaxError",
+    "parse_kernel",
+    "parse_kernels",
+    "analyze",
+    "KernelInfo",
+    "McplSemanticError",
+    "BUILTIN_FUNCTIONS",
+    "execute",
+    "McplRuntimeError",
+]

@@ -1,0 +1,337 @@
+"""Tree-walking interpreter for MCPL kernels.
+
+This is the reference executor used to validate kernels (and the code the
+compiler generates from them) against plain numpy implementations.  A
+``foreach`` executes its iterations sequentially — MCPL requires foreach
+iterations to be independent, so sequential execution computes the same
+result the parallel device would.
+
+Numeric semantics follow C/OpenCL: ``int`` division truncates toward zero,
+``%`` takes the sign of the dividend, and bit operations work on 32-bit
+values (the raytracer's xorshift RNG relies on wrap-around).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from . import ast
+from .semantics import BUILTIN_FUNCTIONS, KernelInfo, analyze
+
+__all__ = ["execute", "McplRuntimeError"]
+
+
+class McplRuntimeError(RuntimeError):
+    """Raised for runtime faults in kernel execution (bad args, OOB, ...)."""
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value: Any):
+        self.value = value
+
+
+_I32_MASK = 0xFFFFFFFF
+
+
+def _to_i32(value: int) -> int:
+    """Wrap to signed 32-bit, as device integers do."""
+    value &= _I32_MASK
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+def _c_div(a: Union[int, float], b: Union[int, float]) -> Union[int, float]:
+    if isinstance(a, int) and isinstance(b, int):
+        if b == 0:
+            raise McplRuntimeError("integer division by zero")
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b >= 0) else -q
+    return a / b
+
+
+def _c_mod(a: Union[int, float], b: Union[int, float]) -> Union[int, float]:
+    if isinstance(a, int) and isinstance(b, int):
+        if b == 0:
+            raise McplRuntimeError("integer modulo by zero")
+        return a - _c_div(a, b) * b
+    return math.fmod(a, b)
+
+
+_BUILTIN_IMPL = {
+    "sqrt": lambda x: math.sqrt(x),
+    "rsqrt": lambda x: 1.0 / math.sqrt(x),
+    "fabs": lambda x: abs(x),
+    "floor": lambda x: math.floor(x),
+    "ceil": lambda x: math.ceil(x),
+    "exp": lambda x: math.exp(x),
+    "log": lambda x: math.log(x),
+    "sin": lambda x: math.sin(x),
+    "cos": lambda x: math.cos(x),
+    "tan": lambda x: math.tan(x),
+    "pow": lambda x, y: math.pow(x, y),
+    "min": lambda x, y: min(x, y),
+    "max": lambda x, y: max(x, y),
+    "clamp": lambda x, lo, hi: max(lo, min(hi, x)),
+    "int_cast": lambda x: int(x),
+    "float_cast": lambda x: float(x),
+}
+assert set(_BUILTIN_IMPL) == set(BUILTIN_FUNCTIONS)
+
+
+class _Frame:
+    """One lexical scope of runtime values."""
+
+    def __init__(self, parent: Optional["_Frame"] = None):
+        self.parent = parent
+        self.values: Dict[str, Any] = {}
+
+    def declare(self, name: str, value: Any) -> None:
+        self.values[name] = value
+
+    def get(self, name: str) -> Any:
+        frame: Optional[_Frame] = self
+        while frame is not None:
+            if name in frame.values:
+                return frame.values[name]
+            frame = frame.parent
+        raise McplRuntimeError(f"undefined variable {name!r}")
+
+    def set(self, name: str, value: Any) -> None:
+        frame: Optional[_Frame] = self
+        while frame is not None:
+            if name in frame.values:
+                frame.values[name] = value
+                return
+            frame = frame.parent
+        raise McplRuntimeError(f"assignment to undefined {name!r}")
+
+
+class _Interp:
+    def __init__(self, info: KernelInfo):
+        self.info = info
+        self.kernel = info.kernel
+
+    # -- entry ---------------------------------------------------------------
+    def run(self, args: Sequence[Any]) -> Any:
+        kernel = self.kernel
+        if len(args) != len(kernel.params):
+            raise McplRuntimeError(
+                f"{kernel.name} takes {len(kernel.params)} args, got {len(args)}")
+        frame = _Frame()
+        for param, value in zip(kernel.params, args):
+            if param.type.is_array:
+                if not isinstance(value, np.ndarray):
+                    raise McplRuntimeError(
+                        f"parameter {param.name!r} must be a numpy array")
+                if value.ndim != len(param.type.dims):
+                    raise McplRuntimeError(
+                        f"parameter {param.name!r}: expected "
+                        f"{len(param.type.dims)}-D array, got {value.ndim}-D")
+            else:
+                value = int(value) if param.type.base == "int" else float(value)
+            frame.declare(param.name, value)
+        # Validate declared array shapes against the tracked size expressions.
+        for param in kernel.params:
+            if param.type.is_array:
+                arr = frame.get(param.name)
+                for axis, dim in enumerate(param.type.dims):
+                    expected = self._eval(dim, frame)
+                    if arr.shape[axis] != expected:
+                        raise McplRuntimeError(
+                            f"{param.name!r} axis {axis}: declared size "
+                            f"{expected}, actual {arr.shape[axis]}")
+        try:
+            self._exec(kernel.body, frame)
+        except _Return as ret:
+            return ret.value
+        return None
+
+    # -- statements ---------------------------------------------------------
+    def _exec(self, stmt: ast.Stmt, frame: _Frame) -> None:
+        if isinstance(stmt, ast.Block):
+            inner = _Frame(frame)
+            for s in stmt.stmts:
+                self._exec(s, inner)
+        elif isinstance(stmt, ast.VarDecl):
+            self._exec_decl(stmt, frame)
+        elif isinstance(stmt, ast.Assign):
+            self._exec_assign(stmt, frame)
+        elif isinstance(stmt, ast.Foreach):
+            count = self._eval(stmt.count, frame)
+            for i in range(int(count)):
+                inner = _Frame(frame)
+                inner.declare(stmt.var, i)
+                self._exec(stmt.body, inner)
+        elif isinstance(stmt, ast.For):
+            inner = _Frame(frame)
+            self._exec(stmt.init, inner)
+            while _truthy(self._eval(stmt.cond, inner)):
+                try:
+                    self._exec(stmt.body, inner)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                self._exec(stmt.step, inner)
+        elif isinstance(stmt, ast.If):
+            if _truthy(self._eval(stmt.cond, frame)):
+                self._exec(stmt.then, frame)
+            elif stmt.orelse is not None:
+                self._exec(stmt.orelse, frame)
+        elif isinstance(stmt, ast.While):
+            while _truthy(self._eval(stmt.cond, frame)):
+                try:
+                    self._exec(stmt.body, frame)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif isinstance(stmt, ast.Return):
+            raise _Return(None if stmt.value is None else self._eval(stmt.value, frame))
+        elif isinstance(stmt, ast.Break):
+            raise _Break()
+        elif isinstance(stmt, ast.Continue):
+            raise _Continue()
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr, frame)
+        else:  # pragma: no cover
+            raise McplRuntimeError(f"unknown statement {stmt!r}")
+
+    def _exec_decl(self, decl: ast.VarDecl, frame: _Frame) -> None:
+        if decl.type.is_array:
+            shape = tuple(int(self._eval(d, frame)) for d in decl.type.dims)
+            dtype = np.int64 if decl.type.base == "int" else np.float64
+            frame.declare(decl.name, np.zeros(shape, dtype=dtype))
+        else:
+            if decl.init is not None:
+                value = self._eval(decl.init, frame)
+            else:
+                value = 0
+            value = int(value) if decl.type.base == "int" else float(value)
+            frame.declare(decl.name, value)
+
+    def _exec_assign(self, stmt: ast.Assign, frame: _Frame) -> None:
+        value = self._eval(stmt.value, frame)
+        target = stmt.target
+        if isinstance(target, ast.Var):
+            if stmt.op != "=":
+                current = frame.get(target.name)
+                value = self._binop(stmt.op[:-1], current, value)
+            # Preserve declared int-ness of the variable.
+            current = frame.get(target.name)
+            if isinstance(current, int) and not isinstance(value, int):
+                value = int(value)
+            frame.set(target.name, value)
+        else:
+            arr = frame.get(target.array)
+            idx = tuple(int(self._eval(i, frame)) for i in target.indices)
+            for axis, i in enumerate(idx):
+                if not 0 <= i < arr.shape[axis]:
+                    raise McplRuntimeError(
+                        f"index {i} out of bounds for axis {axis} of "
+                        f"{target.array!r} (shape {arr.shape}, line {stmt.line})")
+            if stmt.op != "=":
+                value = self._binop(stmt.op[:-1], float(arr[idx])
+                                    if arr.dtype.kind == "f" else int(arr[idx]), value)
+            arr[idx] = value
+
+    # -- expressions --------------------------------------------------------
+    def _eval(self, expr: ast.Expr, frame: _Frame) -> Any:
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.FloatLit):
+            return expr.value
+        if isinstance(expr, ast.Var):
+            return frame.get(expr.name)
+        if isinstance(expr, ast.Index):
+            arr = frame.get(expr.array)
+            idx = tuple(int(self._eval(i, frame)) for i in expr.indices)
+            for axis, i in enumerate(idx):
+                if not 0 <= i < arr.shape[axis]:
+                    raise McplRuntimeError(
+                        f"index {i} out of bounds for axis {axis} of "
+                        f"{expr.array!r} (shape {arr.shape}, line {expr.line})")
+            value = arr[idx]
+            return float(value) if arr.dtype.kind == "f" else int(value)
+        if isinstance(expr, ast.Binary):
+            if expr.op == "&&":
+                return 1 if (_truthy(self._eval(expr.left, frame))
+                             and _truthy(self._eval(expr.right, frame))) else 0
+            if expr.op == "||":
+                return 1 if (_truthy(self._eval(expr.left, frame))
+                             or _truthy(self._eval(expr.right, frame))) else 0
+            left = self._eval(expr.left, frame)
+            right = self._eval(expr.right, frame)
+            return self._binop(expr.op, left, right)
+        if isinstance(expr, ast.Unary):
+            value = self._eval(expr.operand, frame)
+            if expr.op == "-":
+                return -value
+            if expr.op == "!":
+                return 0 if _truthy(value) else 1
+            if expr.op == "~":
+                return _to_i32(~int(value))
+            raise McplRuntimeError(f"unknown unary {expr.op!r}")  # pragma: no cover
+        if isinstance(expr, ast.Call):
+            args = [self._eval(a, frame) for a in expr.args]
+            try:
+                return _BUILTIN_IMPL[expr.name](*args)
+            except (ValueError, ZeroDivisionError, OverflowError) as exc:
+                raise McplRuntimeError(
+                    f"{expr.name}() failed at line {expr.line}: {exc}") from exc
+        raise McplRuntimeError(f"unknown expression {expr!r}")  # pragma: no cover
+
+    def _binop(self, op: str, left: Any, right: Any) -> Any:
+        both_int = isinstance(left, int) and isinstance(right, int)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            result = left * right
+            return _to_i32(result) if both_int else result
+        if op == "/":
+            return _c_div(left, right)
+        if op == "%":
+            return _c_mod(left, right)
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            table = {
+                "==": left == right, "!=": left != right,
+                "<": left < right, "<=": left <= right,
+                ">": left > right, ">=": left >= right,
+            }
+            return 1 if table[op] else 0
+        # Bit operations: 32-bit integer semantics.
+        li, ri = int(left), int(right)
+        if op == "&":
+            return _to_i32(li & ri)
+        if op == "|":
+            return _to_i32(li | ri)
+        if op == "^":
+            return _to_i32(li ^ ri)
+        if op == "<<":
+            return _to_i32((li & _I32_MASK) << (ri & 31))
+        if op == ">>":
+            # Logical shift on the 32-bit pattern (what xorshift RNGs need).
+            return _to_i32((li & _I32_MASK) >> (ri & 31))
+        raise McplRuntimeError(f"unknown operator {op!r}")  # pragma: no cover
+
+
+def _truthy(value: Any) -> bool:
+    return bool(value)
+
+
+def execute(kernel_or_info: Union[ast.Kernel, KernelInfo], *args: Any) -> Any:
+    """Run a kernel on the given arguments (arrays are modified in place)."""
+    info = kernel_or_info if isinstance(kernel_or_info, KernelInfo) else analyze(kernel_or_info)
+    return _Interp(info).run(args)

@@ -1,0 +1,96 @@
+"""Lexer for MCPL, MCL's kernel programming language.
+
+MCPL is C-like (Fig. 3 of the paper): the kernel in the running example is ::
+
+    perfect void matmul(int n, int m, int p,
+        float[n,m] c, float[n,p] a, float[p,m] b) {
+      foreach (int i in n threads) {
+        foreach (int j in m threads) {
+          float sum = 0.0;
+          for (int k = 0; k < p; k++) {
+            sum += a[i,k] * b[k,j];
+          }
+          c[i,j] += sum;
+        }
+      }
+    }
+
+The lexer produces a token stream with line/column positions for error
+reporting.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+__all__ = ["Token", "tokenize", "McplSyntaxError", "KEYWORDS"]
+
+
+class McplSyntaxError(ValueError):
+    """Raised for malformed MCPL source, with source position."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        super().__init__(f"{message} (line {line}, col {col})")
+        self.line = line
+        self.col = col
+
+
+KEYWORDS = frozenset({
+    "void", "int", "float", "foreach", "for", "in", "if", "else", "while",
+    "return", "break", "continue", "local", "private", "const",
+})
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   #: 'ident' | 'keyword' | 'int' | 'float' | 'op' | 'punct' | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+_SPEC = [
+    ("comment", r"//[^\n]*|/\*.*?\*/"),
+    ("float", r"\d+\.\d*(?:[eE][+-]?\d+)?[fF]?|\d+[eE][+-]?\d+[fF]?|\d+[fF]"),
+    ("int", r"0[xX][0-9a-fA-F]+|\d+"),
+    ("ident", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("op", r"<<=|>>=|<<|>>|\+=|-=|\*=|/=|%=|==|!=|<=|>=|&&|\|\||\+\+|--|[-+*/%<>=!&|^~]"),
+    ("punct", r"[()\[\]{},;]"),
+    ("ws", r"[ \t\r\n]+"),
+]
+_MASTER_RE = re.compile("|".join(f"(?P<{name}>{pat})" for name, pat in _SPEC), re.DOTALL)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize MCPL source into a list ending with an ``eof`` token."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(source):
+        m = _MASTER_RE.match(source, pos)
+        if m is None:
+            raise McplSyntaxError(
+                f"unexpected character {source[pos]!r}", line, pos - line_start + 1)
+        kind = m.lastgroup
+        text = m.group()
+        col = pos - line_start + 1
+        pos = m.end()
+        if kind in ("ws", "comment"):
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = pos - (len(text) - text.rfind("\n") - 1)
+            continue
+        if kind == "ident" and text in KEYWORDS:
+            kind = "keyword"
+        if kind == "float" and text[-1] in "fF":
+            text = text[:-1]
+        tokens.append(Token(kind, text, line, col))
+    tokens.append(Token("eof", "", line, pos - line_start + 1))
+    return tokens

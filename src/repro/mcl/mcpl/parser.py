@@ -1,0 +1,308 @@
+"""Recursive-descent parser for MCPL.
+
+Grammar (simplified)::
+
+    kernel   := IDENT type IDENT '(' [param (',' param)*] ')' block
+    param    := type IDENT
+    type     := ('void'|'int'|'float') ['[' expr (',' expr)* ']']
+    block    := '{' stmt* '}'
+    stmt     := block | decl | assign | foreach | for | if | while
+              | return | break | continue | exprstmt
+    foreach  := 'foreach' '(' ('int')? IDENT 'in' expr IDENT ')' stmt
+    for      := 'for' '(' simple ';' expr ';' simple ')' stmt
+
+Expressions use C precedence, including bit operations (the raytracer's
+xorshift RNG needs them).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast
+from .lexer import McplSyntaxError, Token, tokenize
+
+__all__ = ["parse_kernel", "parse_kernels", "McplSyntaxError"]
+
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>="}
+
+# Binary operator precedence levels, weakest first.
+_BIN_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def accept(self, text: str) -> bool:
+        if self.peek().text == text and self.peek().kind != "eof":
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        tok = self.next()
+        if tok.text != text:
+            raise McplSyntaxError(f"expected {text!r}, got {tok.text!r}", tok.line, tok.col)
+        return tok
+
+    def expect_ident(self) -> Token:
+        tok = self.next()
+        if tok.kind != "ident":
+            raise McplSyntaxError(f"expected identifier, got {tok.text!r}", tok.line, tok.col)
+        return tok
+
+    # -- kernel -------------------------------------------------------------
+    def parse_kernel(self) -> ast.Kernel:
+        level = self.expect_ident().text
+        ret = self.parse_type()
+        name = self.expect_ident().text
+        self.expect("(")
+        params: List[ast.Param] = []
+        if not self.accept(")"):
+            while True:
+                ptype = self.parse_type()
+                pname = self.expect_ident().text
+                params.append(ast.Param(ptype, pname))
+                if self.accept(")"):
+                    break
+                self.expect(",")
+        body = self.parse_block()
+        return ast.Kernel(level=level, return_type=ret, name=name,
+                          params=params, body=body)
+
+    def parse_type(self) -> ast.Type:
+        tok = self.next()
+        if tok.text not in ("void", "int", "float"):
+            raise McplSyntaxError(f"expected type, got {tok.text!r}", tok.line, tok.col)
+        dims: List[ast.Expr] = []
+        if self.accept("["):
+            while True:
+                dims.append(self.parse_expr())
+                if self.accept("]"):
+                    break
+                self.expect(",")
+        return ast.Type(base=tok.text, dims=dims)
+
+    # -- statements -----------------------------------------------------------
+    def parse_block(self) -> ast.Block:
+        open_tok = self.expect("{")
+        stmts: List[ast.Stmt] = []
+        while not self.accept("}"):
+            if self.peek().kind == "eof":
+                raise McplSyntaxError("unterminated block", open_tok.line, open_tok.col)
+            stmts.append(self.parse_stmt())
+        return ast.Block(line=open_tok.line, stmts=stmts)
+
+    def parse_stmt(self) -> ast.Stmt:
+        tok = self.peek()
+        if tok.text == "{":
+            return self.parse_block()
+        if tok.text == "foreach":
+            return self.parse_foreach()
+        if tok.text == "for":
+            return self.parse_for()
+        if tok.text == "if":
+            return self.parse_if()
+        if tok.text == "while":
+            return self.parse_while()
+        if tok.text == "return":
+            self.next()
+            value = None if self.peek().text == ";" else self.parse_expr()
+            self.expect(";")
+            return ast.Return(line=tok.line, value=value)
+        if tok.text == "break":
+            self.next()
+            self.expect(";")
+            return ast.Break(line=tok.line)
+        if tok.text == "continue":
+            self.next()
+            self.expect(";")
+            return ast.Continue(line=tok.line)
+        if tok.text in ("local", "private", "const") or tok.text in ("int", "float"):
+            stmt = self.parse_decl()
+            self.expect(";")
+            return stmt
+        stmt = self.parse_simple()
+        self.expect(";")
+        return stmt
+
+    def parse_decl(self) -> ast.VarDecl:
+        tok = self.peek()
+        qualifier = None
+        if tok.text in ("local", "private", "const"):
+            qualifier = self.next().text
+        vtype = self.parse_type()
+        name = self.expect_ident().text
+        init = None
+        if self.accept("="):
+            init = self.parse_expr()
+        return ast.VarDecl(line=tok.line, type=vtype, name=name,
+                           qualifier=qualifier, init=init)
+
+    def parse_simple(self) -> ast.Stmt:
+        """Assignment, increment, or expression statement (no semicolon)."""
+        tok = self.peek()
+        if tok.text in ("int", "float"):
+            return self.parse_decl()
+        expr = self.parse_expr()
+        nxt = self.peek()
+        if nxt.text in _ASSIGN_OPS:
+            if not isinstance(expr, (ast.Var, ast.Index)):
+                raise McplSyntaxError("invalid assignment target", nxt.line, nxt.col)
+            op = self.next().text
+            value = self.parse_expr()
+            return ast.Assign(line=tok.line, target=expr, op=op, value=value)
+        if nxt.text in ("++", "--"):
+            if not isinstance(expr, (ast.Var, ast.Index)):
+                raise McplSyntaxError("invalid increment target", nxt.line, nxt.col)
+            self.next()
+            delta = ast.IntLit(line=nxt.line, value=1)
+            op = "+=" if nxt.text == "++" else "-="
+            return ast.Assign(line=tok.line, target=expr, op=op, value=delta)
+        return ast.ExprStmt(line=tok.line, expr=expr)
+
+    def parse_foreach(self) -> ast.Foreach:
+        tok = self.expect("foreach")
+        self.expect("(")
+        if self.peek().text == "int":
+            self.next()
+        var = self.expect_ident().text
+        self.expect("in")
+        count = self.parse_expr()
+        unit = self.expect_ident().text
+        self.expect(")")
+        body = self.parse_stmt()
+        return ast.Foreach(line=tok.line, var=var, count=count, unit=unit, body=body)
+
+    def parse_for(self) -> ast.For:
+        tok = self.expect("for")
+        self.expect("(")
+        init = self.parse_simple()
+        self.expect(";")
+        cond = self.parse_expr()
+        self.expect(";")
+        step = self.parse_simple()
+        self.expect(")")
+        body = self.parse_stmt()
+        return ast.For(line=tok.line, init=init, cond=cond, step=step, body=body)
+
+    def parse_if(self) -> ast.If:
+        tok = self.expect("if")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then = self.parse_stmt()
+        orelse = None
+        if self.accept("else"):
+            orelse = self.parse_stmt()
+        return ast.If(line=tok.line, cond=cond, then=then, orelse=orelse)
+
+    def parse_while(self) -> ast.While:
+        tok = self.expect("while")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        body = self.parse_stmt()
+        return ast.While(line=tok.line, cond=cond, body=body)
+
+    # -- expressions ----------------------------------------------------------
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_binary(0)
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(_BIN_LEVELS):
+            return self._parse_unary()
+        left = self._parse_binary(level + 1)
+        ops = _BIN_LEVELS[level]
+        while self.peek().kind == "op" and self.peek().text in ops:
+            tok = self.next()
+            right = self._parse_binary(level + 1)
+            left = ast.Binary(line=tok.line, op=tok.text, left=left, right=right)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in ("-", "!", "~", "+"):
+            self.next()
+            operand = self._parse_unary()
+            if tok.text == "+":
+                return operand
+            return ast.Unary(line=tok.line, op=tok.text, operand=operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        tok = self.next()
+        if tok.kind == "int":
+            return ast.IntLit(line=tok.line, value=int(tok.text, 0))
+        if tok.kind == "float":
+            return ast.FloatLit(line=tok.line, value=float(tok.text))
+        if tok.text == "(":
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        if tok.kind != "ident":
+            raise McplSyntaxError(f"unexpected token {tok.text!r}", tok.line, tok.col)
+        # identifier: plain, call, or indexed
+        if self.peek().text == "(":
+            self.next()
+            args: List[ast.Expr] = []
+            if not self.accept(")"):
+                while True:
+                    args.append(self.parse_expr())
+                    if self.accept(")"):
+                        break
+                    self.expect(",")
+            return ast.Call(line=tok.line, name=tok.text, args=args)
+        if self.peek().text == "[":
+            self.next()
+            indices: List[ast.Expr] = []
+            while True:
+                indices.append(self.parse_expr())
+                if self.accept("]"):
+                    break
+                self.expect(",")
+            return ast.Index(line=tok.line, array=tok.text, indices=indices)
+        return ast.Var(line=tok.line, name=tok.text)
+
+
+def parse_kernel(source: str) -> ast.Kernel:
+    """Parse a single MCPL kernel definition."""
+    parser = _Parser(tokenize(source))
+    kernel = parser.parse_kernel()
+    tail = parser.peek()
+    if tail.kind != "eof":
+        raise McplSyntaxError(f"trailing input {tail.text!r}", tail.line, tail.col)
+    return kernel
+
+
+def parse_kernels(source: str) -> List[ast.Kernel]:
+    """Parse a file containing several kernel definitions."""
+    parser = _Parser(tokenize(source))
+    kernels: List[ast.Kernel] = []
+    while parser.peek().kind != "eof":
+        kernels.append(parser.parse_kernel())
+    return kernels

@@ -1,0 +1,23 @@
+"""Satin: divide-and-conquer runtime with random work stealing.
+
+The cluster-level half of Cashmere (van Nieuwpoort et al., TOPLAS 2010):
+spawn/sync semantics, double-ended work queues, random work stealing,
+latency hiding, fault tolerance and shared objects.
+"""
+
+from .job import DivideConquerApp, Job, LeafContext
+from .queues import WorkDeque
+from .runtime import RunResult, RunStats, RuntimeConfig, SatinRuntime
+from .shared_objects import SharedObject
+
+__all__ = [
+    "DivideConquerApp",
+    "Job",
+    "LeafContext",
+    "WorkDeque",
+    "SatinRuntime",
+    "RuntimeConfig",
+    "RunStats",
+    "RunResult",
+    "SharedObject",
+]

@@ -1,0 +1,161 @@
+"""Jobs and the application interface of the Satin runtime.
+
+Satin programs are divide-and-conquer computations (Fig. 1 of the paper):
+``spawnable`` functions divide a task into children, ``sync`` awaits their
+results, and small-enough tasks run a leaf computation.  In this
+reproduction an application implements :class:`DivideConquerApp`; the
+runtime provides spawn/sync/stealing around it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional, Sequence
+
+from ..sim.engine import Environment, Event
+
+__all__ = ["Job", "DivideConquerApp", "LeafContext"]
+
+_job_ids = itertools.count()
+
+
+@dataclass
+class Job:
+    """One spawned invocation of the application's spawnable function."""
+
+    task: Any
+    origin_rank: int               #: node whose queue the job was spawned into
+    depth: int = 0
+    manycore: bool = False         #: True once Cashmere.enableManyCore() ran
+    id: int = field(default_factory=lambda: next(_job_ids))
+    done: Optional[Event] = None   #: triggered with the result
+    #: rank of the thief currently executing the job, or None (fault tolerance)
+    thief_rank: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return f"<Job {self.id} depth={self.depth} origin={self.origin_rank}>"
+
+
+class LeafContext:
+    """What a leaf computation may use: the node it runs on, and — under
+    Cashmere — the node's devices and kernel registry.
+
+    ``runtime`` is the owning runtime; Cashmere leaves call
+    :meth:`repro.core.runtime.CashmereRuntime.get_kernel` through it
+    (the ``Cashmere.getKernel()`` of Fig. 4).
+    """
+
+    def __init__(self, runtime: Any, node: Any):
+        self.runtime = runtime
+        self.node = node
+
+    @property
+    def env(self) -> Environment:
+        return self.node.env
+
+    @property
+    def rank(self) -> int:
+        return self.node.rank
+
+
+class DivideConquerApp:
+    """Base class for Satin/Cashmere applications.
+
+    Subclasses define the task shape and implement the hooks.  Tasks must be
+    cheap to copy conceptually — what crosses the simulated network is
+    charged via :meth:`task_bytes` / :meth:`result_bytes`, not Python object
+    size.
+    """
+
+    #: application name (used in traces and result tables)
+    name: str = "app"
+
+    #: factor by which a single CPU core runs *slower* than its sustained
+    #: vectorized rate on this application's leaves (>= 1).  Irregular,
+    #: branchy code (the raytracer) defeats SSE and branch prediction on
+    #: the host CPU just as it defeats SIMD lanes on the device.
+    cpu_irregularity_penalty: float = 1.0
+
+    # -- program --------------------------------------------------------------
+    def program(self, runtime: Any, master: Any, root_task: Any) -> Generator:
+        """Process: the master's main program.
+
+        The default is a single spawn+sync of the root task.  Iterative
+        applications (k-means, n-body) override this with a loop that runs
+        one task tree per iteration and broadcasts updated state between
+        iterations (the paper's "iterative" application class, Table II).
+        """
+        result = yield from runtime.run_subtask(master, root_task)
+        return result
+
+    # -- structure ----------------------------------------------------------
+    def is_leaf(self, task: Any) -> bool:
+        """Stop condition: run the leaf computation (Fig. 1, line 2)."""
+        raise NotImplementedError
+
+    def is_manycore(self, task: Any) -> bool:
+        """Cashmere stop condition for cluster-level spawning (Fig. 5 line 5).
+
+        When this returns True the runtime calls the equivalent of
+        ``Cashmere.enableManyCore()``: further spawns become node-local
+        threads feeding the many-core devices.  The Satin baseline runtime
+        ignores this hook.
+        """
+        return False
+
+    def divide(self, task: Any) -> Sequence[Any]:
+        """Split a non-leaf task into child tasks (Fig. 1 lines 6-7)."""
+        raise NotImplementedError
+
+    def combine(self, task: Any, results: List[Any]) -> Any:
+        """Combine child results after sync (Fig. 1 line 10)."""
+        raise NotImplementedError
+
+    # -- costs (what the simulator charges) ------------------------------------
+    def task_bytes(self, task: Any) -> float:
+        """Input bytes transferred when this task is stolen."""
+        raise NotImplementedError
+
+    def result_bytes(self, task: Any) -> float:
+        """Output bytes transferred back to the origin node."""
+        raise NotImplementedError
+
+    def leaf_flops(self, task: Any) -> float:
+        """Useful floating-point work of a leaf task."""
+        raise NotImplementedError
+
+    # -- leaf execution ---------------------------------------------------------
+    def leaf(self, task: Any, ctx: LeafContext) -> Generator:
+        """Process: execute a leaf.
+
+        The Satin baseline implementation runs the computation
+        single-threaded on one CPU core of the node; Cashmere applications
+        usually leave this as-is (it is the CPU fallback of Fig. 4) and
+        implement :meth:`leaf_kernel_name` & friends instead.
+        """
+        yield from ctx.node.cpu_compute(
+            self.leaf_flops(task) * self.cpu_irregularity_penalty,
+            label=f"{self.name}-leaf")
+        return self.leaf_result(task)
+
+    def leaf_result(self, task: Any) -> Any:
+        """Result value of a leaf when running in modeled (no-data) mode."""
+        return None
+
+    # -- Cashmere kernel hooks (ignored by plain Satin) -------------------------
+    def leaf_kernel_name(self, task: Any) -> str:
+        """Name of the MCL kernel the leaf launches."""
+        raise NotImplementedError
+
+    def leaf_kernel_params(self, task: Any) -> dict:
+        """Scalar kernel parameters for this leaf launch."""
+        raise NotImplementedError
+
+    def leaf_h2d_bytes(self, task: Any) -> float:
+        """Host-to-device transfer for a leaf launch."""
+        return self.task_bytes(task)
+
+    def leaf_d2h_bytes(self, task: Any) -> float:
+        """Device-to-host transfer after a leaf launch."""
+        return self.result_bytes(task)

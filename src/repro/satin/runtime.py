@@ -1,0 +1,515 @@
+"""The Satin runtime: spawn/sync divide-and-conquer with random work stealing.
+
+This is the cluster-level engine of the reproduction (Sec. II-A):
+
+* **spawn** — dividing a task creates child jobs in the node's work deque;
+  other nodes can steal them,
+* **sync** — the spawning computation blocks until its children are done,
+  executing local work (and absorbing stolen children's results) meanwhile,
+* **random work-stealing** — idle workers send steal requests to uniformly
+  random victims; a stolen job's input crosses the network, it executes on
+  the thief (possibly spawning further work there), and the result crosses
+  back,
+* **latency hiding** — result transfers are fire-and-forget processes that
+  overlap with computation,
+* **fault tolerance** — when a node crashes, jobs it had stolen are
+  re-queued at their origin nodes (orphan re-execution), mimicking Satin's
+  recovery via the Ibis membership service.
+
+Protocol handling consumes CPU cores.  Under plain Satin all 8 cores run
+leaf computations, so steal/result handling queues behind them — exactly the
+second cause of Satin's reduced scalability discussed in Sec. V-B.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..cluster.das4 import SimCluster
+from ..cluster.node import ComputeNode
+from ..sim.engine import Environment, Event, Interrupt, Process
+from .job import DivideConquerApp, Job, LeafContext
+from .queues import WorkDeque
+
+__all__ = ["RuntimeConfig", "RunStats", "RunResult", "SatinRuntime"]
+
+
+@dataclass
+class RuntimeConfig:
+    """Tunable constants of the runtime (defaults model the Java/Ibis stack)."""
+
+    workers_per_node: int = 8          #: Satin needs 8 jobs to fill a node (Sec. V-B)
+    spawn_overhead_s: float = 20e-6    #: CPU cost of creating one job
+    steal_handle_overhead_s: float = 15e-6   #: CPU cost of serving a steal request
+    result_handle_overhead_s: float = 10e-6  #: CPU cost of absorbing a result
+    steal_backoff_s: float = 100e-6    #: initial idle wait after a failed steal
+    steal_backoff_max_s: float = 0.1   #: exponential backoff cap (keeps idle
+                                       #: workers event-cheap on long runs
+                                       #: without stalling iteration starts)
+    control_message_bytes: float = 64.0
+    membership_notify_s: float = 1e-3  #: crash-detection latency
+    seed: int = 42
+    #: a steal round polls every victim in random order (Satin's behavior);
+    #: False limits each round to a single random victim (ablation)
+    steal_sweep: bool = True
+    #: workers keep stealing after the root result is in (they are stopped
+    #: by the runtime); bound their total count of backoff loops per run
+    max_failed_steals: Optional[int] = None
+
+
+@dataclass
+class RunStats:
+    """Counters collected during one run."""
+
+    makespan_s: float = 0.0
+    jobs_executed: Dict[int, int] = field(default_factory=dict)
+    leaves_executed: Dict[int, int] = field(default_factory=dict)
+    steal_attempts: int = 0
+    steal_successes: int = 0
+    results_returned: int = 0
+    orphans_requeued: int = 0
+    cpu_fallbacks: int = 0
+    out_of_core_launches: int = 0
+    total_leaf_flops: float = 0.0
+
+    @property
+    def total_jobs(self) -> int:
+        return sum(self.jobs_executed.values())
+
+    @property
+    def total_leaves(self) -> int:
+        return sum(self.leaves_executed.values())
+
+    def gflops(self) -> float:
+        """Application-level achieved GFLOPS (the figures' y-axis)."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.total_leaf_flops / self.makespan_s / 1e9
+
+
+@dataclass
+class RunResult:
+    result: Any
+    stats: RunStats
+
+
+class SatinRuntime:
+    """One Satin execution on a simulated cluster.
+
+    A runtime instance drives exactly one :meth:`run`; build a fresh cluster
+    and runtime per experiment (cheap — everything is plain Python).
+    """
+
+    def __init__(self, cluster: SimCluster, app: DivideConquerApp,
+                 config: Optional[RuntimeConfig] = None):
+        self.cluster = cluster
+        self.env: Environment = cluster.env
+        self.app = app
+        self.config = config or RuntimeConfig()
+        self.rng = random.Random(self.config.seed)
+        self.stats = RunStats()
+        self.deques: Dict[int, WorkDeque] = {
+            node.rank: WorkDeque(self.env) for node in cluster.nodes}
+        #: jobs stolen *from* each origin, by job id (fault tolerance)
+        self._stolen_out: Dict[int, Job] = {}
+        #: pending steal requests: req_id -> (wakeup event, victim rank)
+        self._steal_waits: Dict[int, Tuple[Event, int]] = {}
+        self._req_ids = itertools.count()
+        self._processes: Dict[int, List[Process]] = {}
+        self._shared_objects: Dict[str, Any] = {}
+        #: nodes with a sync-steal helper in flight (at most one per node)
+        self._sync_stealing: Dict[int, bool] = {}
+        self._shutdown = False
+        self._started = False
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self, root_task: Any, until: Optional[float] = None) -> RunResult:
+        """Execute the divide-and-conquer computation to completion."""
+        if self._started:
+            raise RuntimeError("a SatinRuntime instance runs exactly once")
+        self._started = True
+        self._start_nodes()
+        master = self.cluster.node(0)
+        start = self.env.now
+        root_proc = self.env.process(self._root(master, root_task))
+        result = self.env.run(until=root_proc)
+        self._shutdown = True
+        self._finished = True
+        self.stats.makespan_s = self.env.now - start
+        return RunResult(result=result, stats=self.stats)
+
+    def register_shared_object(self, obj: Any) -> None:
+        """Attach a :class:`repro.satin.shared_objects.SharedObject`."""
+        if obj.name in self._shared_objects:
+            raise ValueError(f"shared object {obj.name!r} already registered")
+        self._shared_objects[obj.name] = obj
+
+    def shared_object(self, name: str) -> Any:
+        return self._shared_objects[name]
+
+    def crash_node(self, rank: int) -> None:
+        """Crash a node (fault injection).  The master cannot crash."""
+        if rank == 0:
+            raise ValueError("crashing the master is not supported")
+        node = self.cluster.node(rank)
+        if node.crashed:
+            return
+        node.crashed = True
+        for proc in self._processes.get(rank, []):
+            proc.interrupt("node crashed")
+        # Steal requests in flight to the dead node fail.
+        for req_id, (ev, victim) in list(self._steal_waits.items()):
+            if victim == rank and not ev.triggered:
+                ev.succeed(None)
+        # Orphans: jobs the dead node had stolen get re-queued at their
+        # origins after the membership service notices the crash.
+        self.env.process(self._requeue_orphans(rank))
+
+    def crash_after(self, rank: int, delay: float) -> None:
+        """Schedule a crash at ``delay`` seconds of virtual time from now."""
+
+        def crasher():
+            yield self.env.timeout(delay)
+            self.crash_node(rank)
+
+        self.env.process(crasher())
+
+    # ------------------------------------------------------------------
+    # node processes
+    # ------------------------------------------------------------------
+    def _start_nodes(self) -> None:
+        for node in self.cluster.nodes:
+            procs = [self.env.process(self._message_handler(node))]
+            for w in range(self.config.workers_per_node):
+                procs.append(self.env.process(self._worker(node, w)))
+            self._processes[node.rank] = procs
+
+    def _root(self, master: ComputeNode, root_task: Any) -> Generator:
+        result = yield from self.app.program(self, master, root_task)
+        return result
+
+    def run_subtask(self, node: ComputeNode, task: Any) -> Generator:
+        """Process: execute one task tree to completion (for iterative
+        programs: one spawn+sync round of the master's main loop)."""
+        result = yield from self._run_task(node, task, depth=0, manycore=False)
+        return result
+
+    def broadcast_from(self, node: ComputeNode, nbytes: float,
+                       tag: str = "app-bcast", payload: Any = None) -> Generator:
+        """Process: broadcast application data (e.g. updated centroids) from
+        one node to all others, charging the network."""
+        yield from self.cluster.network.broadcast(
+            node.endpoint, tag, payload=payload, nbytes=nbytes,
+            ranks=[n.rank for n in self.cluster.alive_nodes()])
+
+    def allgather(self, total_bytes: float, tag: str = "app-allgather"
+                  ) -> Generator:
+        """Process: all-to-all exchange of ``total_bytes`` of shared state.
+
+        Every alive node owns an equal share and sends it to every other
+        node; all NICs inject concurrently, so the exchange takes roughly
+        ``(P-1)/P * total_bytes / bandwidth`` — the n-body position update
+        pattern ("all-to-all for each compute node", Sec. IV).
+        """
+        nodes = self.cluster.alive_nodes()
+        if len(nodes) <= 1:
+            return
+        share = total_bytes / len(nodes)
+
+        def node_sends(src: ComputeNode) -> Generator:
+            for dst in nodes:
+                if dst.rank != src.rank:
+                    yield from src.endpoint.send(dst.rank, tag, nbytes=share)
+
+        procs = [self.env.process(node_sends(n)) for n in nodes]
+        for proc in procs:
+            yield proc
+
+    def _worker(self, node: ComputeNode, index: int) -> Generator:
+        """One worker: pop local work, else steal from a random victim.
+
+        Failed steals back off exponentially (capped) and the idle wait is
+        interrupted as soon as local work appears, so idle workers stay
+        cheap in simulation events even across hours of virtual time.
+        """
+        failed = 0
+        backoff = self.config.steal_backoff_s
+        deque = self.deques[node.rank]
+        try:
+            while not self._shutdown:
+                job = deque.pop()
+                if job is None and len(self.cluster.alive_nodes()) > 1:
+                    job = yield from self._try_steal(node)
+                if job is not None:
+                    failed = 0
+                    backoff = self.config.steal_backoff_s
+                    yield from self._execute_job(node, job)
+                    continue
+                failed += 1
+                limit = self.config.max_failed_steals
+                if limit is not None and failed >= limit:
+                    return
+                # Sleep until the backoff expires or local work arrives.
+                wait_ev = deque.wait()
+                if wait_ev.triggered:
+                    yield from self._execute_job(node, wait_ev.value)
+                    continue
+                timer = self.env.timeout(backoff)
+                yield self.env.any_of([wait_ev, timer])
+                if wait_ev.triggered:
+                    backoff = self.config.steal_backoff_s
+                    yield from self._execute_job(node, wait_ev.value)
+                else:
+                    deque.cancel_wait(wait_ev)
+                    backoff = min(backoff * 2.0, self.config.steal_backoff_max_s)
+        except Interrupt:
+            return  # node crashed
+
+    def _message_handler(self, node: ComputeNode) -> Generator:
+        try:
+            while not self._shutdown:
+                msg = yield node.endpoint.recv()
+                if msg.tag == "steal_request":
+                    # Serve in a sub-process so a busy CPU delays the reply
+                    # without blocking later messages' bookkeeping order.
+                    self.env.process(self._serve_steal(node, msg.payload))
+                elif msg.tag == "steal_reply":
+                    entry = self._steal_waits.get(msg.payload["req_id"])
+                    if entry is not None and not entry[0].triggered:
+                        entry[0].succeed(msg.payload["job"])
+                elif msg.tag == "result":
+                    self.env.process(self._absorb_result(node, msg.payload))
+                elif msg.tag == "shared_update":
+                    obj = self._shared_objects.get(msg.payload["name"])
+                    if obj is not None:
+                        obj.apply_update(node.rank, msg.payload)
+                elif msg.tag == "user":
+                    handler = getattr(self.app, "on_message", None)
+                    if handler is not None:
+                        handler(node, msg.payload)
+        except Interrupt:
+            return
+
+    def _serve_steal(self, node: ComputeNode, payload: Dict[str, Any]) -> Generator:
+        yield from node.cpu_delay(self.config.steal_handle_overhead_s,
+                                  label="steal-serve")
+        job = self.deques[node.rank].steal()
+        nbytes = self.config.control_message_bytes
+        if job is not None:
+            job.thief_rank = payload["thief"]
+            self._stolen_out[job.id] = job
+            nbytes += self.app.task_bytes(job.task)
+        self.cluster.trace.record(f"node{node.rank}/steal", "steal",
+                                  "serve", self.env.now, self.env.now)
+        yield from node.endpoint.send(
+            payload["thief"], "steal_reply",
+            payload={"req_id": payload["req_id"], "job": job},
+            nbytes=nbytes)
+
+    def _absorb_result(self, node: ComputeNode, payload: Dict[str, Any]) -> Generator:
+        yield from node.cpu_delay(self.config.result_handle_overhead_s,
+                                  label="result-recv")
+        job = self._stolen_out.pop(payload["job_id"], None)
+        if job is not None and not job.done.triggered:
+            self.stats.results_returned += 1
+            job.done.succeed(payload["result"])
+
+    # ------------------------------------------------------------------
+    # stealing
+    # ------------------------------------------------------------------
+    def _try_steal(self, node: ComputeNode) -> Generator:
+        """One steal *round*: poll victims in random order until a job is
+        found or every victim declined (Satin's random work-stealing retries
+        immediately on failure — only a fully failed round backs off)."""
+        victims = [n for n in self.cluster.alive_nodes() if n.rank != node.rank]
+        if not victims:
+            return None
+        self.rng.shuffle(victims)
+        if not self.config.steal_sweep:
+            victims = victims[:1]
+        for victim in victims:
+            if self._shutdown:
+                return None
+            req_id = next(self._req_ids)
+            wake = self.env.event()
+            self._steal_waits[req_id] = (wake, victim.rank)
+            self.stats.steal_attempts += 1
+            yield from node.endpoint.send(
+                victim.rank, "steal_request",
+                payload={"req_id": req_id, "thief": node.rank},
+                nbytes=self.config.control_message_bytes)
+            job = yield wake
+            self._steal_waits.pop(req_id, None)
+            if job is not None:
+                self.stats.steal_successes += 1
+                return job
+            # Check for local work that arrived while the request was out.
+            local = self.deques[node.rank].pop()
+            if local is not None:
+                return local
+        return None
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _execute_job(self, node: ComputeNode, job: Job) -> Generator:
+        self.stats.jobs_executed[node.rank] = \
+            self.stats.jobs_executed.get(node.rank, 0) + 1
+        result = yield from self._run_task(node, job.task, job.depth,
+                                           job.manycore)
+        if job.origin_rank == node.rank:
+            if not job.done.triggered:
+                job.done.succeed(result)
+        else:
+            # Fire-and-forget transfer back: overlaps with the next job
+            # (Satin's latency hiding).
+            self.env.process(node.endpoint.send(
+                job.origin_rank, "result",
+                payload={"job_id": job.id, "result": result},
+                nbytes=self.config.control_message_bytes
+                + self.app.result_bytes(job.task)))
+
+    def _run_task(self, node: ComputeNode, task: Any, depth: int,
+                  manycore: bool) -> Generator:
+        app = self.app
+        if app.is_leaf(task):
+            result = yield from self._execute_leaf(node, task)
+            self.stats.leaves_executed[node.rank] = \
+                self.stats.leaves_executed.get(node.rank, 0) + 1
+            self.stats.total_leaf_flops += app.leaf_flops(task)
+            return result
+        if not manycore and self._manycore_enabled(node) and app.is_manycore(task):
+            manycore = True  # Cashmere.enableManyCore()
+        children = list(app.divide(task))
+        if not children:
+            raise ValueError(f"{app.name}: divide() returned no children")
+        if manycore:
+            results = yield from self._run_manycore_children(node, children, depth)
+        else:
+            jobs: List[Job] = []
+            for child in children:
+                yield from node.cpu_delay(self.config.spawn_overhead_s,
+                                          label="spawn")
+                job = Job(task=child, origin_rank=node.rank, depth=depth + 1,
+                          manycore=False, done=self.env.event())
+                jobs.append(job)
+                self.deques[node.rank].push(job)
+            results = yield from self._sync(node, jobs)
+        return app.combine(task, results)
+
+    def _manycore_enabled(self, node: ComputeNode) -> bool:
+        """Whether this runtime honors enableManyCore (Cashmere overrides)."""
+        return False
+
+    def _run_manycore_children(self, node: ComputeNode, children: List[Any],
+                               depth: int) -> Generator:
+        """Thread-per-spawn execution under enableManyCore (Sec. III-B).
+
+        Spawns no longer produce stealable jobs; each spawnable call gets a
+        node-local thread, and sync joins them.
+        """
+        procs = [self.env.process(
+            self._run_task(node, child, depth + 1, True))
+            for child in children]
+        results = []
+        for proc in procs:
+            results.append((yield proc))
+        return results
+
+    def _sync(self, node: ComputeNode, jobs: List[Job]) -> Generator:
+        """Block until all child jobs are done, working meanwhile.
+
+        A waiting computation first drains its local deque; when that is
+        empty it keeps a steal helper running (Satin steals *during* sync —
+        a node whose children were all stolen must not sit idle while other
+        nodes hold queued work) and sleeps until a child completes or new
+        local work appears.
+        """
+        pending: Dict[int, Job] = {j.id: j for j in jobs}
+        deque = self.deques[node.rank]
+        while True:
+            for jid in [k for k, j in pending.items() if j.done.triggered]:
+                pending.pop(jid)
+            if not pending:
+                break
+            local = deque.pop()
+            if local is not None:
+                # Run the job as its own simulation process: inline
+                # delegation would nest Python generator frames linearly in
+                # the number of chained jobs and overflow the stack on
+                # fine-grained runs.
+                yield self.env.process(self._execute_job(node, local))
+                continue
+            # Nothing local: wait for a stolen child's result or new work,
+            # keeping one background steal round in flight for this node.
+            self._spawn_sync_steal_helper(node)
+            wait_ev = deque.wait()
+            if wait_ev.triggered:
+                yield self.env.process(self._execute_job(node, wait_ev.value))
+                continue
+            child_events = [j.done for j in pending.values()]
+            yield self.env.any_of(child_events + [wait_ev])
+            if wait_ev.triggered:
+                yield self.env.process(self._execute_job(node, wait_ev.value))
+            else:
+                deque.cancel_wait(wait_ev)
+        return [j.done.value for j in jobs]
+
+    def _spawn_sync_steal_helper(self, node: ComputeNode) -> None:
+        """Ensure one background steal helper runs for this node."""
+        if self._sync_stealing.get(node.rank) or self._shutdown:
+            return
+        if len(self.cluster.alive_nodes()) <= 1:
+            return
+        self._sync_stealing[node.rank] = True
+        self.env.process(self._sync_steal_helper(node))
+
+    def _sync_steal_helper(self, node: ComputeNode) -> Generator:
+        """Steal rounds on behalf of sync-blocked computations.
+
+        A stolen job is pushed into the node's deque, where the waiting
+        sync (or an idle worker) picks it up.  Failed rounds back off so
+        idle periods stay cheap in simulation events.
+        """
+        backoff = self.config.steal_backoff_s
+        try:
+            while not self._shutdown and not node.crashed:
+                job = yield from self._try_steal(node)
+                if job is not None:
+                    self.deques[node.rank].push(job)
+                    return
+                if len(self.deques[node.rank]) > 0:
+                    return  # local work appeared; no need to keep stealing
+                yield self.env.timeout(backoff)
+                backoff = min(backoff * 2.0, self.config.steal_backoff_max_s)
+        except Interrupt:
+            return
+        finally:
+            self._sync_stealing[node.rank] = False
+
+    def _execute_leaf(self, node: ComputeNode, task: Any) -> Generator:
+        """Leaf execution; plain Satin runs it on one CPU core."""
+        ctx = LeafContext(self, node)
+        result = yield from self.app.leaf(task, ctx)
+        return result
+
+    # ------------------------------------------------------------------
+    # fault tolerance
+    # ------------------------------------------------------------------
+    def _requeue_orphans(self, dead_rank: int) -> Generator:
+        yield self.env.timeout(self.config.membership_notify_s)
+        for job_id, job in list(self._stolen_out.items()):
+            if job.thief_rank == dead_rank and not job.done.triggered:
+                del self._stolen_out[job_id]
+                job.thief_rank = None
+                origin = self.cluster.node(job.origin_rank)
+                if origin.crashed:
+                    continue
+                self.stats.orphans_requeued += 1
+                self.deques[job.origin_rank].push(job)

@@ -1,0 +1,93 @@
+"""Satin shared objects (Sec. II-A).
+
+Shared objects relax the pure divide-and-conquer model: a replicated object
+lives on every node, write methods are broadcast asynchronously (no global
+ordering — the user chooses the consistency they need), and *guards* let a
+job wait until its local replica satisfies a predicate before executing.
+
+The iterative applications use this to distribute updated centroids
+(k-means) and body positions (n-body) between iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+__all__ = ["SharedObject"]
+
+
+class SharedObject:
+    """A replicated object with broadcast writes and guard waits."""
+
+    def __init__(self, runtime: Any, name: str, initial: Any):
+        self.runtime = runtime
+        self.name = name
+        self.env = runtime.env
+        #: per-rank replica state (initial value is shared intentionally:
+        #: models every node starting from the same broadcast input)
+        self.replicas: Dict[int, Any] = {
+            node.rank: initial for node in runtime.cluster.nodes}
+        #: per-rank version counter (how many writes were applied)
+        self.versions: Dict[int, int] = {
+            node.rank: 0 for node in runtime.cluster.nodes}
+        self._guards: Dict[int, List] = {
+            node.rank: [] for node in runtime.cluster.nodes}
+        runtime.register_shared_object(self)
+
+    # -- reads ----------------------------------------------------------
+    def value(self, rank: int) -> Any:
+        """Read the local replica (no communication, like Satin)."""
+        return self.replicas[rank]
+
+    def version(self, rank: int) -> int:
+        return self.versions[rank]
+
+    # -- writes -----------------------------------------------------------
+    def invoke(self, src_rank: int, method: Callable[[Any, Any], Any],
+               payload: Any, nbytes: float) -> Generator:
+        """Process: apply a write method locally and broadcast it.
+
+        ``method(replica, payload) -> new_replica`` must be deterministic;
+        it runs once per node.  ``nbytes`` is the broadcast payload size
+        charged per destination.  Consistency is whatever the application
+        tolerates — replicas apply this write when their copy arrives.
+        """
+        self._apply(src_rank, method, payload)
+        node = self.runtime.cluster.node(src_rank)
+        for dst in self.runtime.cluster.alive_nodes():
+            if dst.rank == src_rank:
+                continue
+            yield from node.endpoint.send(
+                dst.rank, "shared_update",
+                payload={"name": self.name, "method": method,
+                         "payload": payload},
+                nbytes=nbytes)
+
+    def _apply(self, rank: int, method: Callable[[Any, Any], Any],
+               payload: Any) -> None:
+        self.replicas[rank] = method(self.replicas[rank], payload)
+        self.versions[rank] += 1
+        waiting, self._guards[rank] = self._guards[rank], []
+        for predicate, event in waiting:
+            if predicate(self.replicas[rank]):
+                event.succeed(self.replicas[rank])
+            else:
+                self._guards[rank].append((predicate, event))
+
+    def apply_update(self, rank: int, payload: Dict[str, Any]) -> None:
+        """Called by the runtime's message handler on update arrival."""
+        self._apply(rank, payload["method"], payload["payload"])
+
+    # -- guards -------------------------------------------------------------
+    def guard(self, rank: int, predicate: Callable[[Any], bool]):
+        """Event: fires when the local replica satisfies ``predicate``.
+
+        This is Satin's guard mechanism: a job whose inputs depend on shared
+        state waits until its node's replica is consistent enough.
+        """
+        event = self.env.event()
+        if predicate(self.replicas[rank]):
+            event.succeed(self.replicas[rank])
+        else:
+            self._guards[rank].append((predicate, event))
+        return event

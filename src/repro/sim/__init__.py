@@ -1,0 +1,53 @@
+"""Discrete-event simulation substrate for the Cashmere reproduction.
+
+The paper ran on the DAS-4 cluster; this package provides the virtual
+hardware it ran on: a deterministic process-based event engine
+(:mod:`repro.sim.engine`), contention primitives (:mod:`repro.sim.resources`),
+an InfiniBand-style interconnect model (:mod:`repro.sim.network`) and
+Gantt-chart tracing (:mod:`repro.sim.trace`).
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .network import (
+    GIGABIT_ETHERNET,
+    QDR_INFINIBAND,
+    Endpoint,
+    Message,
+    Network,
+    NetworkSpec,
+)
+from .resources import Container, PriorityStore, Resource, Store
+from .trace import Activity, TraceRecorder, render_gantt_ascii
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "Resource",
+    "Store",
+    "PriorityStore",
+    "Container",
+    "Network",
+    "NetworkSpec",
+    "Endpoint",
+    "Message",
+    "QDR_INFINIBAND",
+    "GIGABIT_ETHERNET",
+    "Activity",
+    "TraceRecorder",
+    "render_gantt_ascii",
+]

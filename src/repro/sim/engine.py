@@ -1,0 +1,387 @@
+"""Process-based discrete-event simulation engine.
+
+This is the substrate on which the simulated DAS-4 cluster, the network, the
+many-core devices, and the Satin/Cashmere runtimes execute.  It follows the
+classic process-interaction style (cf. SimPy): simulation *processes* are
+Python generators that ``yield`` events; the environment advances a virtual
+clock from event to event.
+
+The engine is deliberately deterministic: events scheduled for the same
+virtual time fire in FIFO order of scheduling, so every simulated experiment
+is exactly reproducible given a seed for the model-level random generators.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation engine."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Sentinel distinguishing "not yet triggered" from a triggered None value.
+_PENDING = object()
+
+
+class Event:
+    """A condition that may happen at a point in simulated time.
+
+    Processes wait for events by yielding them.  An event is *triggered* with
+    either a value (:meth:`succeed`) or an exception (:meth:`fail`); all
+    registered callbacks then run at the event's scheduled time.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        #: Whether a failure was handed to some waiter (unhandled failures
+        #: propagate out of :meth:`Environment.run`).
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value or exception."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() needs an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (callback helper)."""
+        self._ok = event._ok
+        self._value = event._value
+        self.env._schedule(self)
+
+    # -- composition --------------------------------------------------------
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self._delay}>"
+
+
+class Initialize(Event):
+    """Immediate event that starts a new process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env._schedule(self, 0, front=True)
+
+
+class Process(Event):
+    """Wraps a generator as a simulation process.
+
+    The process itself is an event that triggers with the generator's return
+    value when the generator finishes (or with its exception).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process."""
+        if not self.is_alive:
+            return  # interrupting a dead process is a no-op
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        # Deliver via an immediate event so ordering stays deterministic.
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, 0, front=True)
+        # Unhook from whatever the process was waiting for.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_proc = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(exc)
+            except StopIteration as exc:
+                self._ok = True
+                self._value = exc.value
+                self.env._schedule(self)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self.env._schedule(self)
+                break
+
+            if not isinstance(next_event, Event):
+                self._generator.throw(
+                    SimulationError(f"process yielded non-event {next_event!r}")
+                )
+                continue
+            if next_event.env is not self.env:
+                self._generator.throw(
+                    SimulationError("event belongs to a different environment")
+                )
+                continue
+
+            if next_event.callbacks is not None:
+                # Not yet processed: register and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Already processed: continue immediately with its value.
+            event = next_event
+
+        self.env._active_proc = None
+
+    def __repr__(self) -> str:
+        name = getattr(self._generator, "__name__", str(self._generator))
+        return f"<Process {name}>"
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("mixing environments in a condition")
+        if self._immediately_done():
+            self._finish()
+        else:
+            for ev in self._events:
+                if ev.callbacks is not None:
+                    ev.callbacks.append(self._check)
+                else:
+                    self._observe(ev)
+
+    def _observe(self, ev: Event) -> None:
+        if not ev._ok:
+            ev._defused = True
+            if not self.triggered:
+                self.fail(ev._value)
+            return
+        self._count += 1
+
+    def _check(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        self._observe(ev)
+        if not self.triggered and self._done():
+            self._finish()
+
+    def _immediately_done(self) -> bool:
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._observe(ev)
+        return not self.triggered and self._done()
+
+    def _finish(self) -> None:
+        self.succeed({ev: ev._value for ev in self._events if ev.triggered and ev._ok})
+
+    def _done(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers once *all* constituent events have triggered."""
+
+    def _done(self) -> bool:
+        return self._count >= len(self._events)
+
+
+class AnyOf(_Condition):
+    """Triggers once *any* constituent event has triggered."""
+
+    def _done(self) -> bool:
+        return self._count >= 1 or not self._events
+
+
+class Environment:
+    """Holds the virtual clock and the event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List = []  # (time, priority, seq, event)
+        self._seq = itertools.count()
+        self._active_proc: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds, by convention of this repo)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_proc
+
+    # -- factories ----------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, front: bool = False) -> None:
+        priority = 0 if front else 1
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run until the given time, event, or queue exhaustion.
+
+        ``until`` may be ``None`` (run to exhaustion), a number (run up to
+        that virtual time), or an :class:`Event` (run until it is processed,
+        returning its value).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        f"event queue empty before {target!r} triggered (deadlock?)"
+                    )
+                self.step()
+            if not target._ok:
+                raise target._value
+            return target._value
+        stop_at = float(until)
+        if stop_at < self._now:
+            raise SimulationError("cannot run into the past")
+        while self._queue and self._queue[0][0] <= stop_at:
+            self.step()
+        self._now = stop_at
+        return None

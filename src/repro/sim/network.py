@@ -1,0 +1,158 @@
+"""Cluster interconnect model.
+
+Models a switched fabric (the DAS-4 uses QDR InfiniBand): every node owns a
+full-duplex NIC.  Sending a message serializes it onto the sender's injection
+link at the link bandwidth, the fabric adds a fixed latency, and the message
+then lands in the receiver's mailbox.  Concurrent sends from one node queue
+on its NIC; sends from different nodes proceed in parallel — this is what
+produces the "skewed computation/communication ratio" the paper discusses
+when fast many-core leaves meet a relatively slow network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Iterable, List, Optional
+
+from .engine import Environment, SimulationError
+from .resources import Resource, Store
+
+__all__ = ["NetworkSpec", "Message", "Network", "Endpoint", "QDR_INFINIBAND", "GIGABIT_ETHERNET"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Static parameters of an interconnect."""
+
+    name: str
+    bandwidth_bps: float  #: bytes per second on each injection link
+    latency_s: float      #: one-way fabric latency in seconds
+    per_message_overhead_s: float = 0.0  #: software/protocol overhead per message
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Serialization + latency for one message of ``nbytes``."""
+        return self.per_message_overhead_s + self.latency_s + nbytes / self.bandwidth_bps
+
+
+#: QDR InfiniBand as on DAS-4: ~32 Gbit/s signal, ~3.2 GB/s effective
+#: payload bandwidth and a few microseconds of latency; we add a modest
+#: per-message software overhead for the (Java, in the paper) messaging layer.
+QDR_INFINIBAND = NetworkSpec(
+    name="qdr-infiniband",
+    bandwidth_bps=3.2e9,
+    latency_s=2.0e-6,
+    per_message_overhead_s=15.0e-6,
+)
+
+#: A slower commodity network, used by ablation benches.
+GIGABIT_ETHERNET = NetworkSpec(
+    name="gigabit-ethernet",
+    bandwidth_bps=118e6,
+    latency_s=50e-6,
+    per_message_overhead_s=60e-6,
+)
+
+
+@dataclass
+class Message:
+    """A message in flight or delivered.
+
+    ``payload`` is an arbitrary Python object; ``nbytes`` is the size that is
+    *charged* to the network (the model size of the data, which for simulated
+    paper-scale runs is much larger than the in-memory payload).
+    """
+
+    src: int
+    dst: int
+    tag: str
+    payload: Any = None
+    nbytes: float = 0.0
+    send_time: float = 0.0
+    recv_time: float = 0.0
+
+
+class Endpoint:
+    """A node's attachment to the network: NIC plus mailbox."""
+
+    def __init__(self, env: Environment, network: "Network", rank: int):
+        self.env = env
+        self.network = network
+        self.rank = rank
+        self.nic = Resource(env, capacity=1)
+        self.mailbox: Store = Store(env)
+        #: cumulative statistics
+        self.bytes_sent = 0.0
+        self.bytes_received = 0.0
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    def send(self, dst: int, tag: str, payload: Any = None, nbytes: float = 0.0) -> Generator:
+        """Process: transmit a message to node ``dst`` (blocks the NIC)."""
+        yield from self.network.transmit(self, dst, tag, payload, nbytes)
+
+    def recv(self, tag: Optional[str] = None):
+        """Event: receive the next message (optionally filtered by tag)."""
+        if tag is None:
+            return self.mailbox.get()
+        return self.mailbox.get(lambda m: m.tag == tag)
+
+    def recv_match(self, predicate):
+        """Event: receive the next message matching an arbitrary predicate."""
+        return self.mailbox.get(predicate)
+
+
+class Network:
+    """The fabric connecting all endpoints."""
+
+    def __init__(self, env: Environment, spec: NetworkSpec):
+        self.env = env
+        self.spec = spec
+        self.endpoints: Dict[int, Endpoint] = {}
+        self.total_bytes = 0.0
+        self.total_messages = 0
+
+    def attach(self, rank: int) -> Endpoint:
+        if rank in self.endpoints:
+            raise SimulationError(f"rank {rank} already attached")
+        ep = Endpoint(self.env, self, rank)
+        self.endpoints[rank] = ep
+        return ep
+
+    def transmit(self, src_ep: Endpoint, dst: int, tag: str,
+                 payload: Any, nbytes: float) -> Generator:
+        """Process body implementing one message transfer."""
+        if dst not in self.endpoints:
+            raise SimulationError(f"no endpoint with rank {dst}")
+        env = self.env
+        msg = Message(src=src_ep.rank, dst=dst, tag=tag, payload=payload,
+                      nbytes=nbytes, send_time=env.now)
+        with (yield src_ep.nic.request()):
+            # Serialization occupies the sender's injection link.
+            serialize = self.spec.per_message_overhead_s + nbytes / self.spec.bandwidth_bps
+            yield env.timeout(serialize)
+        # Fabric latency does not occupy the NIC.
+        yield env.timeout(self.spec.latency_s)
+        msg.recv_time = env.now
+        src_ep.bytes_sent += nbytes
+        src_ep.messages_sent += 1
+        dst_ep = self.endpoints[dst]
+        dst_ep.bytes_received += nbytes
+        dst_ep.messages_received += 1
+        self.total_bytes += nbytes
+        self.total_messages += 1
+        yield dst_ep.mailbox.put(msg)
+        return msg
+
+    def broadcast(self, src_ep: Endpoint, tag: str, payload: Any,
+                  nbytes: float, ranks: Optional[Iterable[int]] = None) -> Generator:
+        """Process: send to every (other) endpoint, serialized on the NIC.
+
+        A flat broadcast matches the paper's master-to-slaves runtime-info
+        broadcast at initialization; it is O(P) on the master's NIC, which is
+        fine because it happens once.
+        """
+        targets = sorted(self.endpoints if ranks is None else ranks)
+        for dst in targets:
+            if dst == src_ep.rank:
+                continue
+            yield from self.transmit(src_ep, dst, tag, payload, nbytes)

@@ -1,0 +1,228 @@
+"""Shared-resource primitives for the simulation engine.
+
+These model contention: a :class:`Resource` is a set of interchangeable
+slots (e.g. CPU cores, DMA engines), a :class:`Store` is a FIFO buffer of
+items (e.g. a device's job queue), and a :class:`Container` holds a
+continuous amount (e.g. device memory in bytes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from .engine import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Store", "PriorityStore", "Container"]
+
+
+class _Request(Event):
+    """A pending claim on a resource slot; usable as a context manager."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._trigger()
+
+    def __enter__(self) -> "_Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request."""
+        if self in self.resource._queue:
+            self.resource._queue.remove(self)
+
+
+class Resource:
+    """``capacity`` interchangeable slots granted in FIFO order."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._users: List[_Request] = []
+        self._queue: List[_Request] = []
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def request(self) -> _Request:
+        return _Request(self)
+
+    def release(self, request: _Request) -> None:
+        if request in self._users:
+            self._users.remove(request)
+        else:
+            request.cancel()
+        self._trigger()
+
+    def _trigger(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            req = self._queue.pop(0)
+            self._users.append(req)
+            req.succeed(req)
+
+
+class _StoreGet(Event):
+    def __init__(self, store: "Store", filt: Optional[Callable[[Any], bool]] = None):
+        super().__init__(store.env)
+        self.filt = filt
+        store._getters.append(self)
+        store._trigger()
+
+    def cancel(self) -> None:
+        if self in self.env_store._getters:  # pragma: no cover - defensive
+            self.env_store._getters.remove(self)
+
+
+class _StorePut(Event):
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._putters.append(self)
+        store._trigger()
+
+
+class Store:
+    """FIFO item buffer with optional capacity and filtered gets."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        self.env = env
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._getters: List[_StoreGet] = []
+        self._putters: List[_StorePut] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> _StorePut:
+        return _StorePut(self, item)
+
+    def get(self, filt: Optional[Callable[[Any], bool]] = None) -> _StoreGet:
+        """Get the first item (matching ``filt`` if given)."""
+        ev = _StoreGet(self, filt)
+        ev.env_store = self
+        return ev
+
+    def cancel_get(self, ev: _StoreGet) -> None:
+        if ev in self._getters:
+            self._getters.remove(ev)
+
+    def _insert(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _trigger(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Admit puts while there is room.
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.pop(0)
+                self._insert(put.item)
+                put.succeed()
+                progress = True
+            # Satisfy getters.
+            for get in list(self._getters):
+                matched = None
+                if get.filt is None:
+                    if self.items:
+                        matched = self.items[0]
+                else:
+                    for item in self.items:
+                        if get.filt(item):
+                            matched = item
+                            break
+                if matched is not None:
+                    self.items.remove(matched)
+                    self._getters.remove(get)
+                    get.succeed(matched)
+                    progress = True
+
+
+class PriorityStore(Store):
+    """Store whose items come out lowest-key first.
+
+    Items must be orderable, or a ``key`` function must be supplied.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf"),
+                 key: Optional[Callable[[Any], Any]] = None):
+        super().__init__(env, capacity)
+        self._key = key
+
+    def _insert(self, item: Any) -> None:
+        self.items.append(item)
+        self.items.sort(key=self._key)
+
+
+class _ContainerGet(Event):
+    def __init__(self, container: "Container", amount: float):
+        super().__init__(container.env)
+        self.amount = amount
+        container._getters.append(self)
+        container._trigger()
+
+
+class _ContainerPut(Event):
+    def __init__(self, container: "Container", amount: float):
+        super().__init__(container.env)
+        self.amount = amount
+        container._putters.append(self)
+        container._trigger()
+
+
+class Container:
+    """A continuous quantity with blocking get/put (e.g. device memory)."""
+
+    def __init__(self, env: Environment, capacity: float, init: float = 0.0):
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise SimulationError("init outside [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = init
+        self._getters: List[_ContainerGet] = []
+        self._putters: List[_ContainerPut] = []
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def get(self, amount: float) -> _ContainerGet:
+        if amount < 0:
+            raise SimulationError("negative get amount")
+        return _ContainerGet(self, amount)
+
+    def put(self, amount: float) -> _ContainerPut:
+        if amount < 0:
+            raise SimulationError("negative put amount")
+        return _ContainerPut(self, amount)
+
+    def _trigger(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for put in list(self._putters):
+                if self._level + put.amount <= self.capacity:
+                    self._level += put.amount
+                    self._putters.remove(put)
+                    put.succeed()
+                    progress = True
+            for get in list(self._getters):
+                if get.amount <= self._level:
+                    self._level -= get.amount
+                    self._getters.remove(get)
+                    get.succeed(get.amount)
+                    progress = True

@@ -1,0 +1,142 @@
+"""Activity tracing for Gantt charts and post-run analysis.
+
+The paper's Figs. 16 and 17 are Gantt charts of a heterogeneous k-means run:
+per-queue bars for CPU tasks, host<->device transfers, node<->node sends and
+kernel executions.  :class:`TraceRecorder` collects exactly those intervals;
+:func:`render_gantt_ascii` draws them as text so the benchmark harness can
+print the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Activity", "TraceRecorder", "render_gantt_ascii"]
+
+
+@dataclass
+class Activity:
+    """One bar in the Gantt chart."""
+
+    queue: str        #: lane identifier, e.g. "node3/gtx480/kernel"
+    kind: str         #: "kernel" | "h2d" | "d2h" | "send" | "recv" | "cpu" | "steal"
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Collects :class:`Activity` records during a simulated run."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.activities: List[Activity] = []
+
+    def record(self, queue: str, kind: str, label: str, start: float, end: float) -> None:
+        if not self.enabled:
+            return
+        if end < start:
+            raise ValueError(f"activity ends before it starts: {label}")
+        self.activities.append(Activity(queue, kind, label, start, end))
+
+    # -- queries -----------------------------------------------------------
+    def queues(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for act in self.activities:
+            seen.setdefault(act.queue, None)
+        return list(seen)
+
+    def by_queue(self, queue: str) -> List[Activity]:
+        return [a for a in self.activities if a.queue == queue]
+
+    def by_kind(self, kind: str) -> List[Activity]:
+        return [a for a in self.activities if a.kind == kind]
+
+    def span(self) -> float:
+        """Total time covered by any activity (makespan of the trace)."""
+        if not self.activities:
+            return 0.0
+        return max(a.end for a in self.activities) - min(a.start for a in self.activities)
+
+    def busy_time(self, queue: str) -> float:
+        """Sum of (merged) activity durations in a lane."""
+        intervals = sorted((a.start, a.end) for a in self.by_queue(queue))
+        busy = 0.0
+        cur_start: Optional[float] = None
+        cur_end = 0.0
+        for s, e in intervals:
+            if cur_start is None:
+                cur_start, cur_end = s, e
+            elif s <= cur_end:
+                cur_end = max(cur_end, e)
+            else:
+                busy += cur_end - cur_start
+                cur_start, cur_end = s, e
+        if cur_start is not None:
+            busy += cur_end - cur_start
+        return busy
+
+    def utilization(self, queue: str) -> float:
+        span = self.span()
+        return self.busy_time(queue) / span if span > 0 else 0.0
+
+
+_KIND_CHAR = {
+    "kernel": "#",
+    "h2d": ">",
+    "d2h": "<",
+    "send": "s",
+    "recv": "r",
+    "cpu": "=",
+    "steal": "?",
+}
+
+
+def render_gantt_ascii(trace: TraceRecorder, width: int = 100,
+                       queues: Optional[Sequence[str]] = None,
+                       t0: Optional[float] = None,
+                       t1: Optional[float] = None,
+                       kinds: Optional[Sequence[str]] = None) -> str:
+    """Render a trace as an ASCII Gantt chart.
+
+    ``kinds`` restricts the chart to some activity kinds (the paper's Fig. 17
+    shows kernel executions only); ``t0``/``t1`` zoom in (Fig. 16).
+    """
+    acts = trace.activities
+    if kinds is not None:
+        acts = [a for a in acts if a.kind in kinds]
+    if not acts:
+        return "(empty trace)"
+    lo = min(a.start for a in acts) if t0 is None else t0
+    hi = max(a.end for a in acts) if t1 is None else t1
+    if hi <= lo:
+        return "(empty window)"
+    lanes = queues if queues is not None else sorted({a.queue for a in acts})
+    label_w = max(len(q) for q in lanes) + 1
+    scale = width / (hi - lo)
+    lines = []
+    header = " " * label_w + f"|{lo:.3f}s" + " " * max(0, width - 16) + f"{hi:.3f}s|"
+    lines.append(header)
+    for q in lanes:
+        row = [" "] * width
+        for a in acts:
+            if a.queue != q:
+                continue
+            s = max(a.start, lo)
+            e = min(a.end, hi)
+            if e <= lo or s >= hi:
+                continue
+            i0 = int((s - lo) * scale)
+            i1 = max(i0 + 1, int((e - lo) * scale))
+            ch = _KIND_CHAR.get(a.kind, "*")
+            for i in range(i0, min(i1, width)):
+                row[i] = ch
+        lines.append(q.ljust(label_w) + "|" + "".join(row) + "|")
+    legend = "  ".join(f"{c}={k}" for k, c in _KIND_CHAR.items())
+    lines.append(" " * label_w + legend)
+    return "\n".join(lines)

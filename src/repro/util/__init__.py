@@ -1,0 +1,24 @@
+"""Shared utilities: units, table formatting."""
+
+from .tables import format_series, format_table
+from .units import (
+    GB,
+    GIGA,
+    KB,
+    KILO,
+    MB,
+    MEGA,
+    TERA,
+    fmt_bytes,
+    fmt_gflops,
+    fmt_rate,
+    fmt_time,
+    gflops,
+)
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "KB", "MB", "GB", "KILO", "MEGA", "GIGA", "TERA",
+    "gflops", "fmt_gflops", "fmt_bytes", "fmt_time", "fmt_rate",
+]

@@ -1,0 +1,209 @@
+"""Dependency-free SVG charts.
+
+The benchmark harness regenerates the paper's *figures*, not only their
+numbers; this module renders line charts (the scalability figures 7-14) and
+bar charts (Figs. 6 and 15) as standalone SVG text, with axes, ticks and a
+legend — no matplotlib required.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["line_chart", "bar_chart", "PALETTE"]
+
+#: color cycle for series
+PALETTE = ["#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+           "#8c564b", "#17becf"]
+
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 64, 24, 40, 48
+
+
+def _esc(text: str) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def _nice_ticks(lo: float, hi: float, count: int = 5) -> List[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(count, 1)
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        if raw <= mult * mag:
+            step = mult * mag
+            break
+    start = math.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + step * 0.5:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def _fmt_tick(value: float) -> str:
+    if value == int(value) and abs(value) < 1e7:
+        return str(int(value))
+    return f"{value:g}"
+
+
+class _Canvas:
+    def __init__(self, width: int, height: int, title: str,
+                 x_label: str, y_label: str):
+        self.width = width
+        self.height = height
+        self.plot_w = width - _MARGIN_L - _MARGIN_R
+        self.plot_h = height - _MARGIN_T - _MARGIN_B
+        self.parts: List[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" viewBox="0 0 {width} {height}" '
+            f'font-family="sans-serif" font-size="11">',
+            f'<rect width="{width}" height="{height}" fill="white"/>',
+            f'<text x="{width / 2}" y="20" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{_esc(title)}</text>',
+            f'<text x="{width / 2}" y="{height - 8}" '
+            f'text-anchor="middle">{_esc(x_label)}</text>',
+            f'<text x="14" y="{height / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 14 {height / 2})">{_esc(y_label)}</text>',
+        ]
+
+    def x(self, frac: float) -> float:
+        return _MARGIN_L + frac * self.plot_w
+
+    def y(self, frac: float) -> float:
+        return _MARGIN_T + (1.0 - frac) * self.plot_h
+
+    def axes(self) -> None:
+        self.parts.append(
+            f'<rect x="{_MARGIN_L}" y="{_MARGIN_T}" width="{self.plot_w}" '
+            f'height="{self.plot_h}" fill="none" stroke="#444"/>')
+
+    def legend(self, names: Sequence[str]) -> None:
+        lx = _MARGIN_L + 10
+        for i, name in enumerate(names):
+            ly = _MARGIN_T + 14 + i * 16
+            color = PALETTE[i % len(PALETTE)]
+            self.parts.append(
+                f'<rect x="{lx}" y="{ly - 8}" width="10" height="10" '
+                f'fill="{color}"/>')
+            self.parts.append(
+                f'<text x="{lx + 16}" y="{ly + 1}">{_esc(name)}</text>')
+
+    def finish(self) -> str:
+        self.parts.append("</svg>")
+        return "\n".join(self.parts)
+
+
+def line_chart(title: str, x_label: str, y_label: str,
+               xs: Sequence[float], series: Dict[str, Sequence[float]],
+               width: int = 640, height: int = 400,
+               ideal: Optional[Sequence[float]] = None) -> str:
+    """A multi-series line chart (one line per system, markers at points).
+
+    ``ideal`` adds a dashed reference line (e.g. linear speedup).
+    """
+    if not xs or not series:
+        raise ValueError("line_chart needs x values and at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+    canvas = _Canvas(width, height, title, x_label, y_label)
+    all_y = [y for ys in series.values() for y in ys]
+    if ideal is not None:
+        all_y += list(ideal)
+    y_ticks = _nice_ticks(0.0, max(all_y))
+    y_hi = y_ticks[-1]
+    x_lo, x_hi = min(xs), max(xs)
+    span = (x_hi - x_lo) or 1.0
+
+    def fx(v):
+        return canvas.x((v - x_lo) / span)
+
+    def fy(v):
+        return canvas.y(v / y_hi if y_hi else 0.0)
+
+    # grid + ticks
+    for t in y_ticks:
+        y = fy(t)
+        canvas.parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{y}" x2="{_MARGIN_L + canvas.plot_w}" '
+            f'y2="{y}" stroke="#ddd"/>')
+        canvas.parts.append(
+            f'<text x="{_MARGIN_L - 6}" y="{y + 4}" '
+            f'text-anchor="end">{_fmt_tick(t)}</text>')
+    for v in xs:
+        x = fx(v)
+        canvas.parts.append(
+            f'<text x="{x}" y="{_MARGIN_T + canvas.plot_h + 16}" '
+            f'text-anchor="middle">{_fmt_tick(v)}</text>')
+
+    if ideal is not None:
+        points = " ".join(f"{fx(v)},{fy(w)}" for v, w in zip(xs, ideal))
+        canvas.parts.append(
+            f'<polyline points="{points}" fill="none" stroke="#999" '
+            f'stroke-dasharray="5,4"/>')
+
+    for i, (name, ys) in enumerate(series.items()):
+        color = PALETTE[i % len(PALETTE)]
+        points = " ".join(f"{fx(v)},{fy(w)}" for v, w in zip(xs, ys))
+        canvas.parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>')
+        for v, w in zip(xs, ys):
+            canvas.parts.append(
+                f'<circle cx="{fx(v)}" cy="{fy(w)}" r="3" fill="{color}"/>')
+
+    canvas.axes()
+    canvas.legend(list(series))
+    return canvas.finish()
+
+
+def bar_chart(title: str, x_label: str, y_label: str,
+              categories: Sequence[str], series: Dict[str, Sequence[float]],
+              width: int = 720, height: int = 400) -> str:
+    """A grouped bar chart (one group per category, one bar per series)."""
+    if not categories or not series:
+        raise ValueError("bar_chart needs categories and at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(categories):
+            raise ValueError(f"series {name!r} length mismatch")
+    canvas = _Canvas(width, height, title, x_label, y_label)
+    all_y = [y for ys in series.values() for y in ys]
+    y_ticks = _nice_ticks(0.0, max(all_y))
+    y_hi = y_ticks[-1] or 1.0
+
+    for t in y_ticks:
+        y = canvas.y(t / y_hi)
+        canvas.parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{y}" x2="{_MARGIN_L + canvas.plot_w}" '
+            f'y2="{y}" stroke="#ddd"/>')
+        canvas.parts.append(
+            f'<text x="{_MARGIN_L - 6}" y="{y + 4}" '
+            f'text-anchor="end">{_fmt_tick(t)}</text>')
+
+    n_groups = len(categories)
+    n_series = len(series)
+    group_w = canvas.plot_w / n_groups
+    bar_w = group_w * 0.8 / n_series
+    for gi, cat in enumerate(categories):
+        gx = _MARGIN_L + gi * group_w
+        canvas.parts.append(
+            f'<text x="{gx + group_w / 2}" '
+            f'y="{_MARGIN_T + canvas.plot_h + 16}" '
+            f'text-anchor="middle">{_esc(cat)}</text>')
+        for si, (name, ys) in enumerate(series.items()):
+            value = ys[gi]
+            h = canvas.plot_h * (value / y_hi)
+            x = gx + group_w * 0.1 + si * bar_w
+            y = _MARGIN_T + canvas.plot_h - h
+            color = PALETTE[si % len(PALETTE)]
+            canvas.parts.append(
+                f'<rect x="{x:.2f}" y="{y:.2f}" width="{bar_w:.2f}" '
+                f'height="{h:.2f}" fill="{color}"/>')
+
+    canvas.axes()
+    canvas.legend(list(series))
+    return canvas.finish()

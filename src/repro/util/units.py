@@ -1,0 +1,60 @@
+"""Unit helpers: sizes, rates and time formatting.
+
+Conventions used throughout the reproduction:
+
+* time is in **seconds** of virtual (simulated) time,
+* data sizes are in **bytes**,
+* compute is in **flops** and rates in **flop/s** (printed as GFLOPS,
+  matching the paper's figures).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB", "MB", "GB",
+    "KILO", "MEGA", "GIGA", "TERA",
+    "gflops", "fmt_gflops", "fmt_bytes", "fmt_time", "fmt_rate",
+]
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+KB = 1024.0
+MB = 1024.0 ** 2
+GB = 1024.0 ** 3
+
+
+def gflops(flops: float, seconds: float) -> float:
+    """Rate in GFLOPS for ``flops`` of work done in ``seconds``."""
+    if seconds <= 0:
+        raise ValueError(f"non-positive duration {seconds}")
+    return flops / seconds / GIGA
+
+
+def fmt_gflops(rate_flops_per_s: float) -> str:
+    """Format a flop/s rate as the paper does (GFLOPS)."""
+    return f"{rate_flops_per_s / GIGA:.1f} GFLOPS"
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable byte count."""
+    for unit, div in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(nbytes) >= div:
+            return f"{nbytes / div:.2f} {unit}"
+    return f"{nbytes:.0f} B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def fmt_rate(bytes_per_s: float) -> str:
+    """Human-readable bandwidth."""
+    return f"{bytes_per_s / 1e9:.2f} GB/s"

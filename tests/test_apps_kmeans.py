@@ -1,0 +1,130 @@
+"""K-means application: kernel correctness and iterative distributed runs."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import run_cashmere, run_satin
+from repro.apps.kmeans import (
+    KERNELS_GPU,
+    KERNELS_MIC,
+    KERNELS_PERFECT,
+    KMeansApp,
+    reference_kmeans_iteration,
+    small_app,
+)
+from repro.cluster import ClusterConfig, gtx480_cluster, satin_cpu_cluster
+from repro.mcl import execute, parse_kernel
+
+
+def make_data(n=64, k=8, d=4, seed=3):
+    rng = np.random.default_rng(seed)
+    points = rng.random((n, d))
+    centroids = points[rng.choice(n, size=k, replace=False)].copy()
+    return points, centroids
+
+
+def run_kernel(src, points, centroids, transpose_points=False):
+    n, d = points.shape
+    k = centroids.shape[0]
+    sums = np.zeros((k, d))
+    counts = np.zeros(k)
+    assign = np.zeros(n, dtype=np.int64)
+    pts = np.ascontiguousarray(points.T) if transpose_points else points
+    execute(parse_kernel(src), k, d, n, pts, centroids, sums, counts, assign)
+    return assign, sums, counts
+
+
+def test_perfect_kernel_matches_reference():
+    points, centroids = make_data()
+    assign, sums, counts = run_kernel(KERNELS_PERFECT, points, centroids)
+    ref_assign, ref_sums, ref_counts = reference_kmeans_iteration(points, centroids)
+    np.testing.assert_array_equal(assign, ref_assign)
+    np.testing.assert_allclose(sums, ref_sums, rtol=1e-12)
+    np.testing.assert_allclose(counts, ref_counts)
+
+
+def test_gpu_kernel_matches_reference():
+    points, centroids = make_data(n=300, k=20)
+    assign, sums, counts = run_kernel(KERNELS_GPU, points, centroids,
+                                      transpose_points=True)
+    ref_assign, ref_sums, ref_counts = reference_kmeans_iteration(points, centroids)
+    np.testing.assert_array_equal(assign, ref_assign)
+    np.testing.assert_allclose(sums, ref_sums, rtol=1e-12)
+    np.testing.assert_allclose(counts, ref_counts)
+
+
+def test_mic_kernel_matches_reference():
+    points, centroids = make_data(n=300, k=20)
+    assign, sums, counts = run_kernel(KERNELS_MIC, points, centroids)
+    ref_assign, _, ref_counts = reference_kmeans_iteration(points, centroids)
+    np.testing.assert_array_equal(assign, ref_assign)
+    np.testing.assert_allclose(counts, ref_counts)
+
+
+def sequential_iterations(points, centroids, iterations):
+    c = centroids.copy()
+    history = []
+    for _ in range(iterations):
+        _, sums, counts = reference_kmeans_iteration(points, c)
+        c = np.where(counts[:, None] > 0,
+                     sums / np.maximum(counts[:, None], 1.0), c)
+        history.append(c.copy())
+    return history
+
+
+def test_end_to_end_cashmere_iterations_match_sequential():
+    app = small_app(n_points=2048, k=8, iterations=2, leaf_points=256)
+    points = app.data.copy()
+    c0 = app.centroids.copy()
+    run_cashmere(app, gtx480_cluster(2), app.root_task())
+    expected = sequential_iterations(points, c0, 2)
+    assert len(app.centroid_history) == 2
+    for got, want in zip(app.centroid_history, expected):
+        np.testing.assert_allclose(got, want, rtol=1e-10)
+
+
+def test_end_to_end_satin_iterations_match_sequential():
+    app = small_app(n_points=2048, k=8, iterations=2, leaf_points=256)
+    points = app.data.copy()
+    c0 = app.centroids.copy()
+    run_satin(app, satin_cpu_cluster(2), app.root_task())
+    expected = sequential_iterations(points, c0, 2)
+    for got, want in zip(app.centroid_history, expected):
+        np.testing.assert_allclose(got, want, rtol=1e-10)
+
+
+def test_end_to_end_heterogeneous():
+    app = small_app(n_points=2048, k=8, iterations=1, leaf_points=256)
+    points = app.data.copy()
+    c0 = app.centroids.copy()
+    config = ClusterConfig(name="het",
+                           nodes=[("gtx480",), ("k20", "xeon_phi")])
+    run_cashmere(app, config, app.root_task())
+    expected = sequential_iterations(points, c0, 1)
+    np.testing.assert_allclose(app.centroid_history[0], expected[0], rtol=1e-10)
+
+
+def test_iteration_count_respected():
+    app = small_app(n_points=1024, k=4, iterations=3, leaf_points=256)
+    result = run_cashmere(app, gtx480_cluster(1), app.root_task())
+    assert len(app.centroid_history) == 3
+    # 3 iterations x 4 leaves each
+    assert result.stats.total_leaves == 3 * (1024 // 256)
+
+
+def test_communication_is_light():
+    """O(k) steal/broadcast traffic against O(n*k) computation."""
+    app = KMeansApp(n_points=1 << 22, k=64, d=4, iterations=2,
+                    leaf_points=1 << 19)
+    t = app.root_task()
+    # Points are pre-distributed: a stolen task carries only centroids.
+    assert app.task_bytes(t) == 4.0 * app.k * app.d + 64.0
+    assert app.result_bytes(t) == 4.0 * (app.k * app.d + app.k)
+    assert app.leaf_flops(app.divide(t)[0]) > 1e9
+
+
+def test_library_levels():
+    lib = KMeansApp.build_library(optimized=True)
+    assert set(lib.versions("kmeans")) == {"perfect", "gpu", "mic"}
+    assert lib.select_version("kmeans", "xeon_phi").level == "mic"
+    assert lib.select_version("kmeans", "titan").level == "gpu"

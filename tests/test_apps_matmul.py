@@ -1,0 +1,97 @@
+"""Matmul application: kernel correctness and end-to-end distributed runs."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import run_cashmere, run_satin
+from repro.apps.matmul import (
+    KERNELS_GPU,
+    KERNELS_MIC,
+    KERNELS_PERFECT,
+    MatmulApp,
+    small_app,
+)
+from repro.cluster import ClusterConfig, gtx480_cluster, satin_cpu_cluster
+from repro.mcl import execute, parse_kernel
+
+
+def run_kernel(src, n, m, p, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.random((n, p))
+    b = rng.random((p, m))
+    c = np.zeros((n, m))
+    execute(parse_kernel(src), n, m, p, c, a, b)
+    return c, a @ b
+
+
+def test_perfect_kernel_matches_numpy():
+    c, want = run_kernel(KERNELS_PERFECT, 8, 6, 10)
+    np.testing.assert_allclose(c, want, rtol=1e-12)
+
+
+def test_gpu_tiled_kernel_matches_numpy():
+    c, want = run_kernel(KERNELS_GPU, 64, 32, 64)
+    np.testing.assert_allclose(c, want, rtol=1e-12)
+
+
+def test_mic_blocked_kernel_matches_numpy():
+    # Sizes matching the kernel's fixed 256x128 cache tiles.
+    c, want = run_kernel(KERNELS_MIC, 16, 128, 256)
+    np.testing.assert_allclose(c, want, rtol=1e-12)
+
+
+def test_divide_produces_quadrants():
+    app = MatmulApp(n=256, leaf_block=64)
+    children = app.divide(app.root_task())
+    assert len(children) == 4
+    assert {(t.row0, t.col0) for t in children} == {
+        (0, 0), (0, 128), (128, 0), (128, 128)}
+
+
+def test_costs_scale_with_block():
+    app = MatmulApp(n=1024, leaf_block=128)
+    t = app.divide(app.root_task())[0]
+    assert app.leaf_flops(t) == 2.0 * 512 * 512 * 1024
+    assert app.task_bytes(t) == 4.0 * (2 * 512 * 1024 + 512 * 512)
+
+
+def test_bad_leaf_block_rejected():
+    with pytest.raises(ValueError, match="multiple"):
+        MatmulApp(n=100, leaf_block=64)
+
+
+def test_end_to_end_cashmere_correct_result():
+    app = small_app(n=256, leaf_block=64)
+    a, b, c = app.data
+    run_cashmere(app, gtx480_cluster(2), app.root_task())
+    np.testing.assert_allclose(c, a @ b, rtol=1e-10)
+
+
+def test_end_to_end_satin_correct_result():
+    app = small_app(n=256, leaf_block=64)
+    a, b, c = app.data
+    run_satin(app, satin_cpu_cluster(3), app.root_task())
+    np.testing.assert_allclose(c, a @ b, rtol=1e-10)
+
+
+def test_end_to_end_heterogeneous_correct_result():
+    app = small_app(n=256, leaf_block=64)
+    a, b, c = app.data
+    config = ClusterConfig(name="het", nodes=[("gtx480",), ("k20", "xeon_phi")])
+    run_cashmere(app, config, app.root_task())
+    np.testing.assert_allclose(c, a @ b, rtol=1e-10)
+
+
+def test_library_has_three_levels():
+    lib = MatmulApp.build_library(optimized=True)
+    versions = lib.versions("matmul")
+    assert set(versions) == {"perfect", "gpu", "mic"}
+    # Most specific per device:
+    assert lib.select_version("matmul", "k20").level == "gpu"
+    assert lib.select_version("matmul", "xeon_phi").level == "mic"
+    assert lib.select_version("matmul", "hd7970").level == "gpu"
+
+
+def test_unoptimized_library_only_perfect():
+    lib = MatmulApp.build_library(optimized=False)
+    assert set(lib.versions("matmul")) == {"perfect"}

@@ -1,0 +1,42 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list_prints_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert "fig15" in out
+    assert "table3" in out
+    assert "ablation_scheduler" in out
+
+
+def test_run_static_table(capsys):
+    assert main(["run", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Quartetto" in out
+    assert "wall-clock" in out
+
+
+def test_run_unknown_experiment_fails(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_writes_artifacts(tmp_path, capsys):
+    assert main(["run", "table2", "-o", str(tmp_path)]) == 0
+    written = tmp_path / "table2.txt"
+    assert written.exists()
+    assert "iterative" in written.read_text()
+
+
+def test_run_with_seed(capsys):
+    # Seed is forwarded to seeded experiments and ignored by static tables.
+    assert main(["run", "table1", "--seed", "5"]) == 0
+    assert main(["run", "ablation_network", "--seed", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "InfiniBand" in out

@@ -1,0 +1,79 @@
+"""Extra code-generation and harness coverage."""
+
+import pytest
+
+from repro.apps.kmeans import KERNELS_GPU as KMEANS_GPU
+from repro.apps.matmul import KERNELS_MIC as MATMUL_MIC
+from repro.apps.nbody import KERNELS_GPU as NBODY_GPU
+from repro.experiments.harness import ExperimentResult, experiment
+from repro.mcl import (
+    derive_launch_config,
+    generate_opencl,
+    parse_kernel,
+    translate,
+)
+
+
+def test_opencl_kmeans_gpu_structure():
+    src = generate_opencl(parse_kernel(KMEANS_GPU))
+    assert "__kernel void kmeans" in src
+    assert "__local float lc[(2048) * (4)];" in src
+    assert "__global int* assign" in src
+    # Private (register) arrays carry no address-space qualifier.
+    assert "float pt[(4)];" in src
+    assert "__local float pt" not in src
+
+
+def test_opencl_nbody_gpu_structure():
+    src = generate_opencl(parse_kernel(NBODY_GPU))
+    assert "rsqrt(" in src
+    assert "get_group_id(0)" in src
+    assert "__local float tile[(256) * (4)];" in src
+
+
+def test_opencl_mic_vectors_become_unrolled_loops():
+    src = generate_opencl(parse_kernel(MATMUL_MIC))
+    assert "#pragma unroll" in src
+    assert "get_group_id(0)" in src     # cores
+    assert "get_local_id(0)" in src     # threads
+
+
+def test_launch_config_mic_matmul_counts():
+    cfg = derive_launch_config(parse_kernel(MATMUL_MIC),
+                               {"n": 2048, "m": 2048, "p": 32768})
+    # 60 cores x 4 threads.
+    assert cfg.work_groups == 60
+    assert cfg.work_items == 60 * 4
+
+
+def test_launch_config_translated_scale_exact_partial_block():
+    kernel = translate(parse_kernel("""
+perfect void f(int n, float[n] a) {
+  foreach (int i in n threads) { a[i] = 1.0; }
+}
+"""), "k20")
+    cfg = derive_launch_config(kernel, {"n": 100})
+    # One block whose thread count is min(100, 256) = 100.
+    assert cfg.global_size == (100,)
+    assert cfg.local_size == (100,)
+
+
+def test_float_literals_get_f_suffix():
+    src = generate_opencl(parse_kernel(
+        "perfect void f(int n, float[n] a) { foreach (int i in n threads) "
+        "{ a[i] = 2.5; } }"))
+    assert "2.5f" in src
+
+
+def test_experiment_registry_rejects_duplicates():
+    @experiment("test-dup-xyz")
+    def runner():  # pragma: no cover - never called
+        return ExperimentResult("test-dup-xyz", "t", [], [])
+
+    with pytest.raises(ValueError, match="duplicate"):
+        @experiment("test-dup-xyz")
+        def runner2():  # pragma: no cover
+            return None
+
+    from repro.experiments.harness import EXPERIMENTS
+    del EXPERIMENTS["test-dup-xyz"]  # clean up module state

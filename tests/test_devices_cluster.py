@@ -1,0 +1,229 @@
+"""Tests for device simulation, specs, cluster presets and the CPU model."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    SimCluster,
+    gtx480_cluster,
+    heterogeneous_kmeans,
+    heterogeneous_nbody,
+    heterogeneous_small,
+    satin_cpu_cluster,
+)
+from repro.cluster.das4 import single_device_cluster
+from repro.devices import (
+    DEVICE_SPECS,
+    HOST_CPU,
+    KernelProfile,
+    SimDevice,
+    device_spec,
+    kernel_gflops,
+    kernel_time,
+)
+from repro.sim import Environment, GIGABIT_ETHERNET
+
+
+# --------------------------------------------------------------------------
+# specs
+# --------------------------------------------------------------------------
+
+def test_seven_devices_match_paper_hardware():
+    assert sorted(DEVICE_SPECS) == ["c2050", "gtx480", "gtx680", "hd7970",
+                                    "k20", "titan", "xeon_phi"]
+
+
+def test_paper_static_speed_table_entries():
+    # Sec. III-B: "the table states that a K20 GPU has speed 40 and a
+    # GTX480 speed 20".
+    assert device_spec("k20").static_speed == 40.0
+    assert device_spec("gtx480").static_speed == 20.0
+
+
+def test_device_spec_derived_units():
+    k20 = device_spec("k20")
+    assert k20.peak_flops == 3520.0 * 1e9
+    assert k20.mem_bandwidth == 208.0 * 1e9
+    assert k20.pcie_bandwidth == 5.9 * 1e9
+
+
+def test_unknown_device_lists_known():
+    with pytest.raises(KeyError, match="known devices"):
+        device_spec("rtx4090")
+
+
+def test_host_cpu_is_dual_quad_core():
+    assert HOST_CPU.cores == 8
+    assert HOST_CPU.core_flops < HOST_CPU.peak_gflops_sp_per_core * 1e9
+
+
+# --------------------------------------------------------------------------
+# perf model validation
+# --------------------------------------------------------------------------
+
+def test_profile_validation():
+    with pytest.raises(ValueError, match="compute_efficiency"):
+        KernelProfile("k", 1.0, 1.0, compute_efficiency=1.5,
+                      memory_efficiency=0.5)
+    with pytest.raises(ValueError, match="divergence"):
+        KernelProfile("k", 1.0, 1.0, 0.5, 0.5, divergence_factor=0.5)
+    with pytest.raises(ValueError, match="non-negative"):
+        KernelProfile("k", -1.0, 1.0, 0.5, 0.5)
+    with pytest.raises(ValueError, match="fraction"):
+        KernelProfile("k", 1.0, 1.0, 0.5, 0.5).scaled(0.0)
+
+
+def test_roofline_compute_vs_memory_bound():
+    spec = device_spec("gtx480")
+    compute_bound = KernelProfile("k", flops=1e12, device_bytes=1e3,
+                                  compute_efficiency=1.0, memory_efficiency=1.0)
+    memory_bound = KernelProfile("k", flops=1e3, device_bytes=1e11,
+                                 compute_efficiency=1.0, memory_efficiency=1.0)
+    assert kernel_time(compute_bound, spec) == pytest.approx(
+        spec.launch_overhead_s + 1e12 / spec.peak_flops)
+    assert kernel_time(memory_bound, spec) == pytest.approx(
+        spec.launch_overhead_s + 1e11 / spec.mem_bandwidth)
+
+
+def test_divergence_multiplies_time():
+    spec = device_spec("k20")
+    base = KernelProfile("k", 1e12, 1e3, 0.5, 0.5)
+    div = KernelProfile("k", 1e12, 1e3, 0.5, 0.5, divergence_factor=4.0)
+    t0 = kernel_time(base, spec) - spec.launch_overhead_s
+    t1 = kernel_time(div, spec) - spec.launch_overhead_s
+    assert t1 == pytest.approx(4.0 * t0)
+
+
+def test_kernel_gflops_consistent_with_time():
+    spec = device_spec("titan")
+    prof = KernelProfile("k", 1e12, 1e6, 0.5, 0.5)
+    assert kernel_gflops(prof, spec) == pytest.approx(
+        1e12 / kernel_time(prof, spec) / 1e9)
+
+
+# --------------------------------------------------------------------------
+# SimDevice behaviour
+# --------------------------------------------------------------------------
+
+def test_device_memory_alloc_blocks_until_free():
+    env = Environment()
+    dev = SimDevice(env, device_spec("gtx480"), "node0")
+    log = []
+
+    def first():
+        yield dev.alloc(1.0 * 1024 ** 3)
+        yield env.timeout(5.0)
+        yield dev.free(1.0 * 1024 ** 3)
+
+    def second():
+        yield dev.alloc(1.0 * 1024 ** 3)  # 2x1GB > 1.5GB: must wait
+        log.append(env.now)
+
+    env.process(first())
+    env.process(second())
+    env.run()
+    assert log == [5.0]
+
+
+def test_device_alloc_over_capacity_raises():
+    env = Environment()
+    dev = SimDevice(env, device_spec("gtx480"), "node0")
+    with pytest.raises(MemoryError, match="split the leaf"):
+        dev.alloc(10 * 1024 ** 3)
+
+
+def test_device_overlap_disabled_serializes_transfers():
+    env = Environment()
+    dev = SimDevice(env, device_spec("k20"), "node0", overlap=False)
+    prof = KernelProfile("k", 1e11, 1e3, 0.5, 0.5)
+    times = {}
+
+    def copies():
+        yield from dev.copy_to_device(1e9)
+        times["h2d_done"] = env.now
+
+    def kernel():
+        yield from dev.run_kernel(prof)
+        times["kernel_done"] = env.now
+
+    env.process(kernel())
+    env.process(copies())
+    env.run()
+    # Serialized: the copy waits for the kernel (or vice versa).
+    total = max(times.values())
+    kernel_t = kernel_time(prof, dev.spec)
+    copy_t = 1e9 / dev.spec.pcie_bandwidth
+    assert total == pytest.approx(kernel_t + copy_t + dev.spec.pcie_latency_s,
+                                  rel=1e-6)
+
+
+def test_device_zero_byte_copies_are_free():
+    env = Environment()
+    dev = SimDevice(env, device_spec("k20"), "node0")
+
+    def run():
+        yield from dev.copy_to_device(0.0)
+        yield from dev.copy_from_device(0.0)
+        return env.now
+
+    assert env.run(env.process(run())) == 0.0
+
+
+# --------------------------------------------------------------------------
+# cluster presets
+# --------------------------------------------------------------------------
+
+def test_gtx480_cluster_bounds():
+    with pytest.raises(ValueError, match="22"):
+        gtx480_cluster(23)
+    assert gtx480_cluster(16).num_nodes == 16
+
+
+def test_heterogeneous_configs_match_table3():
+    small = heterogeneous_small()
+    assert small.device_counts() == {"gtx480": 10, "c2050": 2, "gtx680": 1,
+                                     "titan": 1, "hd7970": 1}
+    km = heterogeneous_kmeans()
+    assert km.device_counts()["k20"] == 7
+    assert km.device_counts()["xeon_phi"] == 1
+    nb = heterogeneous_nbody()
+    assert nb.device_counts()["xeon_phi"] == 2
+    # The Phis share nodes with K20s, as on the real machine.
+    assert ("k20", "xeon_phi") in nb.nodes
+
+
+def test_sim_cluster_instantiates_nodes_and_devices():
+    cluster = SimCluster(heterogeneous_small())
+    assert cluster.num_nodes == 15
+    assert cluster.node(0).device_names == ["gtx480"]
+    assert cluster.node(14).device_names == ["hd7970"]
+    assert len(cluster.alive_nodes()) == 15
+
+
+def test_single_device_and_cpu_clusters():
+    assert SimCluster(single_device_cluster("titan")).node(0).device_names \
+        == ["titan"]
+    assert SimCluster(satin_cpu_cluster(3)).node(1).devices == []
+
+
+def test_network_preset_propagates():
+    cluster = SimCluster(gtx480_cluster(2, network=GIGABIT_ETHERNET))
+    assert cluster.network.spec.name == "gigabit-ethernet"
+
+
+def test_cpu_compute_occupies_one_core():
+    cluster = SimCluster(satin_cpu_cluster(1))
+    node = cluster.node(0)
+    env = cluster.env
+    done = []
+
+    def work(i):
+        yield from node.cpu_compute(HOST_CPU.core_flops)  # exactly 1 s each
+        done.append((i, env.now))
+
+    for i in range(9):  # 9 jobs on 8 cores
+        env.process(work(i))
+    env.run()
+    times = sorted(t for _, t in done)
+    assert times[:8] == [pytest.approx(1.0)] * 8
+    assert times[8] == pytest.approx(2.0)

@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs to completion and self-validates.
+
+The examples assert their own correctness internally (numpy comparisons);
+these tests only need them to exit cleanly and print their headline lines.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, timeout=300):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_examples_directory_complete():
+    names = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert names == ["fault_tolerant_raytracing.py", "heterogeneous_kmeans.py",
+                     "quickstart.py", "stepwise_refinement.py"]
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "distributed result matches numpy: OK" in out
+    assert "GFLOPS" in out
+
+
+def test_stepwise_refinement():
+    out = run_example("stepwise_refinement.py")
+    assert "use-local-memory" in out
+    assert "ready to translate down" in out
+    assert "__kernel void matmul" in out
+    assert "xeon_phi" in out
+
+
+@pytest.mark.slow
+def test_heterogeneous_kmeans():
+    out = run_example("heterogeneous_kmeans.py")
+    assert "match the sequential reference: OK" in out
+    assert "K20 : Xeon Phi job split" in out
+    assert "#" in out  # the Gantt chart
+
+
+@pytest.mark.slow
+def test_fault_tolerant_raytracing():
+    out = run_example("fault_tolerant_raytracing.py")
+    assert "identical to the fault-free reference: OK" in out
+    assert "re-queued" in out

@@ -1,0 +1,160 @@
+"""Tests for the experiment harness and the paper-shape claims.
+
+These run reduced-size versions of the studies (fewer node counts) and
+assert the *shapes* the paper reports, not absolute numbers.
+"""
+
+import pytest
+
+from repro.experiments import list_experiments, run_experiment
+from repro.experiments.fig6_kernels import FIG6_LEAVES, kernel_performance
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.papertables import APPLICATION_CLASSES, TOP500_HETEROGENEOUS
+from repro.experiments.scalability import scalability_study
+
+
+def test_registry_covers_every_table_and_figure():
+    assert list_experiments() == sorted([
+        "table1", "table2", "fig6", "fig7_8", "fig9_10", "fig11_12",
+        "fig13_14", "table3", "fig15", "fig16_17",
+        "ablation_scheduler", "ablation_overlap", "ablation_steal",
+        "ablation_network"])
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        run_experiment("fig99")
+
+
+def test_table1_matches_paper_rows():
+    result = run_experiment("table1")
+    assert len(result.rows) == 10
+    assert result.rows[0][0] == "Quartetto"
+    assert result.rows[0][2] == 49
+    rendered = result.render()
+    assert "Tsubame 2.5" in rendered
+
+
+def test_table2_matches_paper_rows():
+    result = run_experiment("table2")
+    assert [r[0] for r in result.rows] == ["raytracer", "matmul", "k-means",
+                                           "n-body"]
+    assert result.rows[1] == ["matmul", "regular", "heavy", "heavy"]
+
+
+# --------------------------------------------------------------------------
+# Fig. 6 shapes
+# --------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def fig6_perf():
+    return kernel_performance()
+
+
+def test_fig6_covers_all_apps_and_devices(fig6_perf):
+    assert set(fig6_perf) == set(FIG6_LEAVES)
+    for app, per_dev in fig6_perf.items():
+        assert len(per_dev) == 7
+
+
+def test_fig6_optimization_drastic_except_raytracer(fig6_perf):
+    """Sec. V-A: optimizing has a drastic effect for most devices except
+    the raytracer (divergence is algorithmic)."""
+    for app in ("matmul", "k-means", "n-body"):
+        for dev in ("gtx480", "k20", "hd7970", "xeon_phi"):
+            u = fig6_perf[app][dev]["unoptimized"]
+            o = fig6_perf[app][dev]["optimized"]
+            assert o > 2.0 * u, (app, dev, u, o)
+    for dev in ("gtx480", "k20", "hd7970", "xeon_phi"):
+        u = fig6_perf["raytracer"][dev]["unoptimized"]
+        o = fig6_perf["raytracer"][dev]["optimized"]
+        assert o == pytest.approx(u, rel=0.15), ("raytracer", dev)
+
+
+def test_fig6_phi_about_4x_slower_than_k20_on_kmeans(fig6_perf):
+    """Sec. V-C: 'the Xeon Phi is about 4 times slower than the K20'."""
+    k20 = fig6_perf["k-means"]["k20"]["optimized"]
+    phi = fig6_perf["k-means"]["xeon_phi"]["optimized"]
+    assert 3.0 < k20 / phi < 5.0
+
+
+def test_fig6_kernels_below_device_peak(fig6_perf):
+    from repro.devices import device_spec
+    for app, per_dev in fig6_perf.items():
+        for dev, versions in per_dev.items():
+            for g in versions.values():
+                assert g < device_spec(dev).peak_gflops_sp
+
+
+# --------------------------------------------------------------------------
+# scalability shapes (reduced node counts to stay fast)
+# --------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def kmeans_study():
+    return scalability_study("k-means", node_counts=(1, 4))
+
+
+def test_cashmere_absolute_performance_far_above_satin(kmeans_study):
+    satin = kmeans_study["satin"][0].gflops
+    opt = kmeans_study["cashmere-opt"][0].gflops
+    assert opt > 10 * satin
+
+
+def test_optimized_kernels_beat_unoptimized_at_cluster_level(kmeans_study):
+    unopt = kmeans_study["cashmere-unopt"][1].gflops
+    opt = kmeans_study["cashmere-opt"][1].gflops
+    assert opt > 2 * unopt
+
+
+def test_speedup_grows_with_nodes(kmeans_study):
+    for system, points in kmeans_study.items():
+        assert points[1].speedup > 2.0, system
+
+
+def test_matmul_optimized_scales_worst():
+    """Sec. V-B2: matmul scalability suffers from the network once the
+    kernel is optimized."""
+    study = scalability_study("matmul", node_counts=(1, 8))
+    assert study["cashmere-opt"][1].speedup < study["satin"][1].speedup
+    assert study["cashmere-opt"][1].speedup < \
+        study["cashmere-unopt"][1].speedup
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(KeyError, match="unknown application"):
+        scalability_study("fft")
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(ValueError, match="unknown system"):
+        scalability_study("matmul", node_counts=(1,), systems=("mpi",))
+
+
+def test_figure_pair_renders():
+    result = run_experiment("fig13_14", node_counts=(1, 2),
+                            systems=("cashmere-opt",))
+    assert isinstance(result, ExperimentResult)
+    assert "cashmere-opt GFLOPS" in result.render()
+
+
+# --------------------------------------------------------------------------
+# heterogeneity + gantt (single reduced runs)
+# --------------------------------------------------------------------------
+
+def test_heterogeneous_raytracer_efficiency_over_90():
+    from repro.experiments.heterogeneity import heterogeneous_run
+    r = heterogeneous_run("raytracer")
+    assert r.het_efficiency > 0.9
+    assert r.het_gflops > r.homogeneous_gflops  # 15 devices vs 16 GTX480s? no:
+    # the heterogeneous set contains faster devices, so more GFLOPS total.
+
+
+def test_gantt_experiment_shows_phi_sharing_node_with_k20():
+    result = run_experiment("fig16_17")
+    assert result.extra["k20_jobs"] > result.extra["phi_jobs"] > 0
+    # Speed-proportional split: the K20 takes ~4x the Phi's jobs.
+    ratio = result.extra["k20_jobs"] / result.extra["phi_jobs"]
+    assert 2.5 < ratio < 6.0
+    assert "#" in result.extra["fig17"]
+    assert "xeon_phi" in result.extra["fig16"]

@@ -1,0 +1,339 @@
+"""Tests for the MCL compiler: analysis, feedback, translation, codegen."""
+
+import numpy as np
+import pytest
+
+from repro.mcl import (
+    analyze_cost,
+    derive_launch_config,
+    generate_opencl,
+    get_feedback,
+    is_optimized_for,
+    parse_kernel,
+    translate,
+)
+from repro.mcl.compiler.translate import TranslationError
+from repro.mcl.mcpl.interpreter import execute
+
+MATMUL_PERFECT = """
+perfect void matmul(int n, int m, int p,
+    float[n,m] c, float[n,p] a, float[p,m] b) {
+  foreach (int i in n threads) {
+    foreach (int j in m threads) {
+      float sum = 0.0;
+      for (int k = 0; k < p; k++) {
+        sum += a[i,k] * b[k,j];
+      }
+      c[i,j] += sum;
+    }
+  }
+}
+"""
+
+VECTOR_SCALE = """
+perfect void scale(int n, float[n] a) {
+  foreach (int i in n threads) {
+    a[i] = a[i] * 2.0;
+  }
+}
+"""
+
+
+# --------------------------------------------------------------------------
+# static cost analysis
+# --------------------------------------------------------------------------
+
+def test_matmul_flop_count():
+    analysis = analyze_cost(parse_kernel(MATMUL_PERFECT),
+                            {"n": 64, "m": 64, "p": 64})
+    # 2 flops (mul+add) per k-iteration per (i,j), plus the final += per cell.
+    expected = 64 * 64 * (64 * 2 + 1)
+    assert analysis.flops == pytest.approx(expected)
+
+
+def test_matmul_naive_traffic_is_per_access():
+    n = 32
+    analysis = analyze_cost(parse_kernel(MATMUL_PERFECT),
+                            {"n": n, "m": n, "p": n})
+    # Every a/b element read goes to global memory: 2 reads * 4 bytes per k.
+    assert analysis.global_bytes >= n * n * n * 8
+
+
+def test_matmul_parallelism_is_2d_product():
+    analysis = analyze_cost(parse_kernel(MATMUL_PERFECT),
+                            {"n": 16, "m": 8, "p": 4})
+    assert analysis.parallelism == 16 * 8
+
+
+def test_straight_line_kernel_has_zero_divergence():
+    analysis = analyze_cost(parse_kernel(VECTOR_SCALE), {"n": 100})
+    assert analysis.divergence == 0.0
+
+
+def test_data_dependent_branch_creates_divergence():
+    src = """
+    perfect void f(int n, float[n] a) {
+      foreach (int i in n threads) {
+        if (a[i] > 0.5) { a[i] = sqrt(a[i]) + 1.0; }
+        else { a[i] = a[i] * 2.0; }
+      }
+    }
+    """
+    analysis = analyze_cost(parse_kernel(src), {"n": 100})
+    assert analysis.divergence > 0.5
+
+
+def test_missing_params_rejected():
+    with pytest.raises(ValueError, match="missing parameter"):
+        analyze_cost(parse_kernel(VECTOR_SCALE), {})
+
+
+def test_local_accesses_not_charged_to_global():
+    tiled = """
+    gpu void f(int n, float[n] a, float[n] out) {
+      foreach (int b in n / 16 blocks) {
+        local float[16] tile;
+        for (int t = 0; t < 16; t++) { tile[t] = a[b * 16 + t]; }
+        foreach (int t in 16 threads) {
+          float acc = 0.0;
+          for (int k = 0; k < 16; k++) { acc += tile[k]; }
+          out[b * 16 + t] = acc;
+        }
+      }
+    }
+    """
+    analysis = analyze_cost(parse_kernel(tiled), {"n": 256})
+    # Global traffic: one staging read + one result write per element; the
+    # 16x reuse happens in local memory.
+    assert analysis.global_bytes == pytest.approx(256 * 4 * 2)
+    assert analysis.local_bytes > analysis.global_bytes
+
+
+# --------------------------------------------------------------------------
+# feedback (stepwise refinement)
+# --------------------------------------------------------------------------
+
+def test_perfect_level_kernel_gets_no_feedback_at_its_level():
+    # At level perfect the compiler knows nothing about the hardware.
+    assert get_feedback(parse_kernel(MATMUL_PERFECT)) == []
+    assert is_optimized_for(parse_kernel(MATMUL_PERFECT))
+
+
+def test_gpu_level_matmul_gets_local_memory_feedback():
+    gpu_matmul = MATMUL_PERFECT.replace("perfect void", "gpu void")
+    items = get_feedback(parse_kernel(gpu_matmul))
+    codes = [i.code for i in items]
+    assert "use-local-memory" in codes
+
+
+def test_tiled_gpu_kernel_resolves_local_memory_feedback():
+    tiled = """
+    gpu void f(int n, float[n] a, float[n] out) {
+      foreach (int b in n / 16 blocks) {
+        local float[16] tile;
+        for (int t = 0; t < 16; t++) { tile[t] = a[b * 16 + t]; }
+        foreach (int t in 16 threads) {
+          out[b * 16 + t] = tile[t];
+        }
+      }
+    }
+    """
+    codes = [i.code for i in get_feedback(parse_kernel(tiled))]
+    assert "use-local-memory" not in codes
+
+
+def test_uncoalesced_access_detected():
+    src = """
+    gpu void transpose_bad(int n, float[n,n] a, float[n,n] out) {
+      foreach (int i in n threads) {
+        foreach (int j in n threads) {
+          out[j,i] = a[i,j];
+        }
+      }
+    }
+    """
+    codes = [i.code for i in get_feedback(parse_kernel(src))]
+    assert "uncoalesced-access" in codes
+
+
+def test_mic_level_requests_vectorization():
+    src = """
+    mic void f(int n, float[n] a) {
+      foreach (int c in 60 cores) {
+        foreach (int t in 4 threads) {
+          a[c * 4 + t] = 1.0;
+        }
+      }
+    }
+    """
+    codes = [i.code for i in get_feedback(parse_kernel(src))]
+    assert "vectorize-inner-loop" in codes
+
+
+def test_mic_vectorized_kernel_is_clean():
+    src = """
+    mic void f(int n, float[n] a) {
+      foreach (int c in n / 64 cores) {
+        foreach (int t in 4 threads) {
+          foreach (int v in 16 vectors) {
+            a[c * 64 + t * 16 + v] = 1.0;
+          }
+        }
+      }
+    }
+    """
+    codes = [i.code for i in get_feedback(parse_kernel(src))]
+    assert "vectorize-inner-loop" not in codes
+
+
+def test_nvidia_divergence_feedback():
+    src = """
+    nvidia void f(int n, float[n] a) {
+      foreach (int i in n threads) {
+        if (a[i] > 0.0) { a[i] = 0.0; }
+      }
+    }
+    """
+    codes = [i.code for i in get_feedback(parse_kernel(src))]
+    assert "divergent-control-flow" in codes
+
+
+def test_working_set_check_needs_params():
+    big = """
+    accelerator void f(int n, float[n,n] a) {
+      foreach (int i in n threads) { a[i,0] = 0.0; }
+    }
+    """
+    kernel = parse_kernel(big)
+    # 32768^2 floats = 4 GiB > 1 GiB accelerator memory.
+    codes = [i.code for i in get_feedback(kernel, {"n": 32768})]
+    assert "working-set-too-large" in codes
+    codes_small = [i.code for i in get_feedback(kernel, {"n": 1024})]
+    assert "working-set-too-large" not in codes_small
+
+
+# --------------------------------------------------------------------------
+# translation
+# --------------------------------------------------------------------------
+
+def test_translate_relabels_level():
+    out = translate(parse_kernel(MATMUL_PERFECT), "gtx480")
+    assert out.level == "gtx480"
+
+
+def test_translate_preserves_semantics_gpu():
+    kernel = parse_kernel(VECTOR_SCALE)
+    translated = translate(kernel, "gtx480")
+    a0 = np.arange(10.0)
+    a1 = a0.copy()
+    execute(kernel, 10, a0)
+    execute(translated, 10, a1)
+    np.testing.assert_allclose(a0, a1)
+
+
+def test_translate_preserves_semantics_matmul_on_k20():
+    kernel = parse_kernel(MATMUL_PERFECT)
+    translated = translate(kernel, "k20")
+    rng = np.random.default_rng(1)
+    n = 4
+    a = rng.random((n, n))
+    b = rng.random((n, n))
+    c0 = np.zeros((n, n))
+    c1 = np.zeros((n, n))
+    execute(kernel, n, n, n, c0, a, b)
+    execute(translated, n, n, n, c1, a, b)
+    np.testing.assert_allclose(c0, c1)
+
+
+def test_translate_preserves_semantics_xeon_phi():
+    kernel = parse_kernel(VECTOR_SCALE)
+    translated = translate(kernel, "xeon_phi")
+    assert translated.level == "xeon_phi"
+    a0 = np.arange(1000.0)
+    a1 = a0.copy()
+    execute(kernel, 1000, a0)
+    execute(translated, 1000, a1)
+    np.testing.assert_allclose(a0, a1)
+
+
+def test_translate_to_gpu_introduces_blocks():
+    translated = translate(parse_kernel(VECTOR_SCALE), "gpu")
+    from repro.mcl.mcpl.semantics import analyze
+    from repro.mcl.hdl import get_description
+    info = analyze(translated, get_description("gpu"))
+    assert "blocks" in info.units_used
+
+
+def test_translate_upward_rejected():
+    gpu_kernel = parse_kernel(VECTOR_SCALE.replace("perfect", "gpu"))
+    with pytest.raises(TranslationError):
+        translate(gpu_kernel, "perfect")
+
+
+def test_translate_across_branches_rejected():
+    gpu_kernel = parse_kernel(VECTOR_SCALE.replace("perfect", "nvidia"))
+    with pytest.raises(TranslationError):
+        translate(gpu_kernel, "hd7970")
+
+
+def test_translate_same_level_is_identity_copy():
+    kernel = parse_kernel(VECTOR_SCALE)
+    out = translate(kernel, "perfect")
+    assert out is not kernel
+    assert out.level == "perfect"
+
+
+# --------------------------------------------------------------------------
+# codegen
+# --------------------------------------------------------------------------
+
+def test_opencl_generation_structure():
+    translated = translate(parse_kernel(MATMUL_PERFECT), "gtx480")
+    src = generate_opencl(translated)
+    assert "__kernel void matmul" in src
+    assert "__global float* c" in src
+    assert "get_group_id(0)" in src
+    assert "get_local_id(0)" in src
+
+
+def test_opencl_linearizes_multidim_access():
+    src = generate_opencl(parse_kernel(MATMUL_PERFECT))
+    # a[i,k] with declared dims [n,p] must linearize with stride p.
+    assert "a[(i) * (p) + (k)]" in src.replace("  ", " ") or "* (p) +" in src
+
+
+def test_opencl_local_memory_qualifier():
+    tiled = """
+    gpu void f(int n, float[n] a) {
+      foreach (int b in n / 16 blocks) {
+        local float[16] tile;
+        foreach (int t in 16 threads) { tile[t] = a[b * 16 + t]; }
+      }
+    }
+    """
+    src = generate_opencl(parse_kernel(tiled))
+    assert "__local float tile[(16)];" in src
+
+
+def test_launch_config_for_translated_kernel():
+    translated = translate(parse_kernel(VECTOR_SCALE), "gtx480")
+    cfg = derive_launch_config(translated, {"n": 10000})
+    # ceil(10000/256)=40 blocks of 256 threads
+    assert cfg.local_size == (256,)
+    assert cfg.global_size == (40 * 256,)
+    assert cfg.work_groups == 40
+
+
+def test_launch_config_untranslated_uses_global_dims():
+    cfg = derive_launch_config(parse_kernel(MATMUL_PERFECT),
+                               {"n": 512, "m": 128, "p": 64})
+    assert cfg.global_size == (512, 128)
+
+
+def test_launch_config_coarser_on_xeon_phi():
+    gpu = derive_launch_config(translate(parse_kernel(VECTOR_SCALE), "gtx480"),
+                               {"n": 1 << 20})
+    phi = derive_launch_config(translate(parse_kernel(VECTOR_SCALE), "xeon_phi"),
+                               {"n": 1 << 20})
+    # The Phi runs 240 fat work-items; the GPU a million fine ones.
+    assert phi.work_items < gpu.work_items / 100

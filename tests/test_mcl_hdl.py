@@ -1,0 +1,131 @@
+"""Tests for the HDL hardware-description language and built-in library."""
+
+import pytest
+
+from repro.mcl.hdl import (
+    HdlSyntaxError,
+    builtin_library,
+    get_description,
+    leaf_names,
+    parse_hdl,
+    root_description,
+)
+
+
+def test_builtin_hierarchy_has_seven_leaves():
+    # The paper's Fig. 2 hierarchy generates code for 7 leaf devices.
+    assert leaf_names() == sorted(
+        ["gtx480", "c2050", "k20", "gtx680", "titan", "hd7970", "xeon_phi"])
+
+
+def test_root_is_perfect_with_unlimited_hardware():
+    perfect = root_description()
+    assert perfect.name == "perfect"
+    assert perfect.parent is None
+    assert perfect.memory_spaces["main"].capacity_bytes is None  # unlimited
+    assert perfect.memory_spaces["main"].latency_cycles == 1
+    assert perfect.par_units["threads"].max_count is None
+
+
+def test_ancestry_path_of_gtx480():
+    hd = get_description("gtx480")
+    assert hd.level_names() == ["perfect", "accelerator", "gpu", "nvidia", "fermi", "gtx480"]
+    assert hd.is_leaf
+
+
+def test_amd_and_nvidia_share_gpu_level():
+    hd7970 = get_description("hd7970")
+    k20 = get_description("k20")
+    assert hd7970.is_descendant_of("gpu")
+    assert k20.is_descendant_of("gpu")
+    assert not hd7970.is_descendant_of("nvidia")
+
+
+def test_xeon_phi_is_not_a_gpu():
+    phi = get_description("xeon_phi")
+    assert phi.is_descendant_of("mic")
+    assert not phi.is_descendant_of("gpu")
+    # Phi exposes vector parallelism instead of warps.
+    assert phi.par_unit("vectors") is not None
+    assert phi.par_unit("warps") is None
+
+
+def test_child_levels_refine_parent_memory():
+    # gpu overrides 'main' with a finite capacity; nvidia enlarges 'local'.
+    gpu = get_description("gpu")
+    assert gpu.memory_space("main").capacity_bytes == 1024 ** 3
+    nvidia = get_description("nvidia")
+    assert nvidia.memory_space("local").capacity_bytes == 48 * 1024
+    # Inheritance: gtx480 sees local memory from nvidia.
+    assert get_description("gtx480").memory_space("local").capacity_bytes == 48 * 1024
+
+
+def test_param_inheritance_and_override():
+    assert get_description("nvidia").param("warp_size") == 32
+    assert get_description("gtx480").param("warp_size") == 32
+    assert get_description("gtx480").param("clock_mhz") == 1401
+    assert get_description("gtx480").param("missing", default=7.0) == 7.0
+
+
+def test_leaves_from_intermediate_level():
+    nvidia = get_description("nvidia")
+    assert sorted(hd.name for hd in nvidia.leaves()) == [
+        "c2050", "gtx480", "gtx680", "k20", "titan"]
+
+
+def test_find_searches_subtree():
+    root = root_description()
+    assert root.find("kepler").name == "kepler"
+    assert root.find("nonexistent") is None
+
+
+def test_unknown_description_suggests_adding_one():
+    with pytest.raises(KeyError, match="suggests adding"):
+        get_description("gtx9000")
+
+
+def test_parse_custom_description_extending_builtin():
+    # Sec. III-B: users add a description for an unknown device.
+    lib = dict(builtin_library())
+    out = parse_hdl(
+        """
+        hardware_description gtx580 extends fermi {
+            memory main { capacity 1.5gb; latency 400; }
+            param sm_count 16;
+        }
+        """,
+        existing=lib,
+    )
+    hd = out["gtx580"]
+    assert hd.parent.name == "fermi"
+    assert hd.param("warp_size") == 32  # inherited from nvidia
+    assert hd.param("sm_count") == 16
+
+
+def test_parse_rejects_unknown_parent():
+    with pytest.raises(HdlSyntaxError, match="unknown description"):
+        parse_hdl("hardware_description x extends nope { }")
+
+
+def test_parse_rejects_duplicate():
+    with pytest.raises(HdlSyntaxError, match="duplicate"):
+        parse_hdl(
+            "hardware_description a { } hardware_description a { }")
+
+
+def test_parse_size_suffixes():
+    out = parse_hdl(
+        """
+        hardware_description t {
+            memory m { capacity 2kb; latency 3; }
+            param p 4mb;
+        }
+        """
+    )
+    assert out["t"].memory_spaces["m"].capacity_bytes == 2048
+    assert out["t"].params["p"] == 4 * 1024 ** 2
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(HdlSyntaxError):
+        parse_hdl("hardware_description t { memory }")

@@ -1,0 +1,89 @@
+"""Robustness fuzzing for the MCPL front-end.
+
+The front-end must never crash with anything other than its own diagnostic
+exceptions, no matter the input: arbitrary text, token soup, or mutated
+valid kernels.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mcl.mcpl import (
+    McplRuntimeError,
+    McplSemanticError,
+    McplSyntaxError,
+    analyze,
+    parse_kernel,
+    tokenize,
+)
+
+FRONTEND_ERRORS = (McplSyntaxError, McplSemanticError, KeyError)
+
+VALID_KERNEL = """
+perfect void f(int n, float[n] a) {
+  foreach (int i in n threads) {
+    a[i] = a[i] * 2.0 + 1.0;
+  }
+}
+"""
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=200, deadline=None)
+def test_tokenizer_never_crashes_unexpectedly(text):
+    try:
+        tokens = tokenize(text)
+    except McplSyntaxError:
+        return
+    assert tokens[-1].kind == "eof"
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=200, deadline=None)
+def test_parser_never_crashes_unexpectedly(text):
+    try:
+        parse_kernel(text)
+    except FRONTEND_ERRORS:
+        pass
+
+
+_TOKENS = ["perfect", "void", "int", "float", "foreach", "for", "if",
+           "else", "while", "return", "threads", "(", ")", "{", "}", "[",
+           "]", ",", ";", "=", "+", "*", "<", "a", "b", "i", "n", "0",
+           "1", "2.0"]
+
+
+@given(st.lists(st.sampled_from(_TOKENS), max_size=60))
+@settings(max_examples=200, deadline=None)
+def test_parser_survives_token_soup(tokens):
+    try:
+        kernel = parse_kernel(" ".join(tokens))
+        analyze(kernel)
+    except FRONTEND_ERRORS:
+        pass
+
+
+@given(st.integers(min_value=0, max_value=len(VALID_KERNEL) - 1),
+       st.characters(blacklist_categories=("Cs",)))
+@settings(max_examples=200, deadline=None)
+def test_single_character_mutations_are_diagnosed(pos, ch):
+    mutated = VALID_KERNEL[:pos] + ch + VALID_KERNEL[pos + 1:]
+    try:
+        kernel = parse_kernel(mutated)
+        analyze(kernel)
+    except FRONTEND_ERRORS:
+        pass
+
+
+@given(st.integers(min_value=1, max_value=64))
+@settings(max_examples=30, deadline=None)
+def test_valid_kernel_pipeline_for_any_size(n):
+    import numpy as np
+
+    kernel = parse_kernel(VALID_KERNEL)
+    info = analyze(kernel)
+    from repro.mcl.mcpl.interpreter import execute
+
+    a = np.arange(float(n))
+    execute(info, n, a)
+    np.testing.assert_allclose(a, np.arange(float(n)) * 2.0 + 1.0)

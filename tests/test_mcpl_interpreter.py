@@ -1,0 +1,195 @@
+"""Tests for the MCPL interpreter against numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.mcl.mcpl import McplRuntimeError, execute, parse_kernel
+
+MATMUL_SRC = """
+perfect void matmul(int n, int m, int p,
+    float[n,m] c, float[n,p] a, float[p,m] b) {
+  foreach (int i in n threads) {
+    foreach (int j in m threads) {
+      float sum = 0.0;
+      for (int k = 0; k < p; k++) {
+        sum += a[i,k] * b[k,j];
+      }
+      c[i,j] += sum;
+    }
+  }
+}
+"""
+
+
+def test_matmul_matches_numpy():
+    rng = np.random.default_rng(0)
+    n, m, p = 5, 4, 3
+    a = rng.random((n, p))
+    b = rng.random((p, m))
+    c = np.zeros((n, m))
+    execute(parse_kernel(MATMUL_SRC), n, m, p, c, a, b)
+    np.testing.assert_allclose(c, a @ b, rtol=1e-12)
+
+
+def test_matmul_accumulates_into_c():
+    n = 2
+    a = np.eye(n)
+    b = np.eye(n)
+    c = np.full((n, n), 10.0)
+    execute(parse_kernel(MATMUL_SRC), n, n, n, c, a, b)
+    np.testing.assert_allclose(c, 10.0 + np.eye(n))
+
+
+def test_shape_mismatch_detected():
+    k = parse_kernel(MATMUL_SRC)
+    a = np.zeros((3, 3))
+    with pytest.raises(McplRuntimeError, match="declared size"):
+        execute(k, 2, 2, 2, np.zeros((2, 2)), a, np.zeros((2, 2)))
+
+
+def test_wrong_arg_count():
+    with pytest.raises(McplRuntimeError, match="takes"):
+        execute(parse_kernel("perfect void f(int n) { }"), 1, 2)
+
+
+def test_out_of_bounds_read_detected():
+    src = """
+    perfect void f(int n, float[n] a) {
+      foreach (int i in n threads) { a[i] = a[i + 1]; }
+    }
+    """
+    with pytest.raises(McplRuntimeError, match="out of bounds"):
+        execute(parse_kernel(src), 3, np.zeros(3))
+
+
+def test_reduction_with_while_and_if():
+    src = """
+    perfect void count_pos(int n, float[n] a, float[1] out) {
+      int i = 0;
+      while (i < n) {
+        if (a[i] > 0.0) { out[0] += 1.0; }
+        i += 1;
+      }
+    }
+    """
+    a = np.array([1.0, -2.0, 3.0, 0.5, -0.1])
+    out = np.zeros(1)
+    execute(parse_kernel(src), 5, a, out)
+    assert out[0] == 3.0
+
+
+def test_integer_division_truncates_toward_zero():
+    src = """
+    perfect void f(int[4] out) {
+      out[0] = 7 / 2;
+      out[1] = (0 - 7) / 2;
+      out[2] = 7 % 3;
+      out[3] = (0 - 7) % 3;
+    }
+    """
+    out = np.zeros(4, dtype=np.int64)
+    execute(parse_kernel(src), out)
+    assert list(out) == [3, -3, 1, -1]
+
+
+def test_bitops_xorshift_rng_is_32bit():
+    # xorshift32 with wrap-around; reference computed with uint32 semantics.
+    src = """
+    perfect void f(int[1] s) {
+      int x = s[0];
+      x = x ^ (x << 13);
+      x = x ^ (x >> 17);
+      x = x ^ (x << 5);
+      s[0] = x;
+    }
+    """
+    state = np.array([2463534242], dtype=np.int64)  # will wrap to signed
+    # signed-32 view of the seed
+    state[0] = np.int64(np.uint32(2463534242).astype(np.int32))
+    execute(parse_kernel(src), state)
+
+    def xorshift32(x):
+        x = np.uint32(x)
+        x ^= np.uint32(x << np.uint32(13))
+        x ^= np.uint32(x >> np.uint32(17))
+        x ^= np.uint32(x << np.uint32(5))
+        return x
+
+    expected = xorshift32(2463534242)
+    assert np.uint32(np.int64(state[0]) & 0xFFFFFFFF) == expected
+
+
+def test_builtin_math_functions():
+    src = """
+    perfect void f(float[6] out) {
+      out[0] = sqrt(16.0);
+      out[1] = min(3.0, 2.0);
+      out[2] = max(3.0, 2.0);
+      out[3] = clamp(5.0, 0.0, 1.0);
+      out[4] = pow(2.0, 10.0);
+      out[5] = fabs(0.0 - 4.5);
+    }
+    """
+    out = np.zeros(6)
+    execute(parse_kernel(src), out)
+    np.testing.assert_allclose(out, [4.0, 2.0, 3.0, 1.0, 1024.0, 4.5])
+
+
+def test_builtin_domain_error_becomes_runtime_error():
+    src = "perfect void f(float[1] out) { out[0] = sqrt(0.0 - 1.0); }"
+    with pytest.raises(McplRuntimeError, match="sqrt"):
+        execute(parse_kernel(src), np.zeros(1))
+
+
+def test_break_and_continue():
+    src = """
+    perfect void f(int n, int[n] out) {
+      for (int i = 0; i < n; i++) {
+        if (i == 2) { continue; }
+        if (i == 4) { break; }
+        out[i] = 1;
+      }
+    }
+    """
+    out = np.zeros(6, dtype=np.int64)
+    execute(parse_kernel(src), 6, out)
+    assert list(out) == [1, 1, 0, 1, 0, 0]
+
+
+def test_local_array_declaration_gpu_tiling():
+    # Structurally a tiled (optimized, gpu-level) kernel: stage a block of
+    # `a` into local memory, then use it.
+    src = """
+    gpu void scale(int n, float[n] a, float[n] out) {
+      foreach (int b in n / 4 blocks) {
+        local float[4] tile;
+        for (int t = 0; t < 4; t++) {
+          tile[t] = a[b * 4 + t];
+        }
+        foreach (int t in 4 threads) {
+          out[b * 4 + t] = tile[t] * 2.0;
+        }
+      }
+    }
+    """
+    a = np.arange(8.0)
+    out = np.zeros(8)
+    execute(parse_kernel(src), 8, a, out)
+    np.testing.assert_allclose(out, a * 2.0)
+
+
+def test_integer_overflow_wraps_like_device():
+    src = "perfect void f(int[1] out) { out[0] = 65536 * 65536; }"
+    out = np.zeros(1, dtype=np.int64)
+    execute(parse_kernel(src), out)
+    assert out[0] == 0  # 2^32 wraps to 0 in 32-bit
+
+def test_division_by_zero_reported():
+    src = "perfect void f(int[1] out) { out[0] = 1 / 0; }"
+    with pytest.raises(McplRuntimeError, match="division by zero"):
+        execute(parse_kernel(src), np.zeros(1, dtype=np.int64))
+
+
+def test_kernel_with_return_value():
+    src = "perfect int f(int n) { return n * 2; }"
+    assert execute(parse_kernel(src), 21) == 42

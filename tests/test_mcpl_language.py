@@ -1,0 +1,216 @@
+"""Tests for the MCPL lexer, parser and semantic analysis."""
+
+import pytest
+
+from repro.mcl.mcpl import (
+    McplSemanticError,
+    McplSyntaxError,
+    analyze,
+    ast,
+    parse_kernel,
+    parse_kernels,
+    tokenize,
+)
+
+MATMUL_SRC = """
+perfect void matmul(int n, int m, int p,
+    float[n,m] c,
+    float[n,p] a, float[p,m] b) {
+  foreach (int i in n threads) {
+    foreach (int j in m threads) {
+      float sum = 0.0;
+      for (int k = 0; k < p; k++) {
+        sum += a[i,k] * b[k,j];
+      }
+      c[i,j] += sum;
+    }
+  }
+}
+"""
+
+
+def test_tokenize_positions_and_kinds():
+    toks = tokenize("foreach (int i in n threads)")
+    kinds = [t.kind for t in toks]
+    assert kinds == ["keyword", "punct", "keyword", "ident", "keyword",
+                     "ident", "ident", "punct", "eof"]
+    assert toks[0].line == 1 and toks[0].col == 1
+
+
+def test_tokenize_float_suffix_and_comments():
+    toks = tokenize("1.5f // comment\n/* block */ 2")
+    assert [t.text for t in toks[:-1]] == ["1.5", "2"]
+    assert toks[1].line == 2
+
+
+def test_tokenize_rejects_garbage():
+    with pytest.raises(McplSyntaxError):
+        tokenize("a @ b")
+
+
+def test_parse_paper_matmul_kernel():
+    k = parse_kernel(MATMUL_SRC)
+    assert k.level == "perfect"
+    assert k.name == "matmul"
+    assert k.return_type.base == "void"
+    assert [p.name for p in k.params] == ["n", "m", "p", "c", "a", "b"]
+    assert [p.name for p in k.array_params] == ["c", "a", "b"]
+    # c is declared float[n,m]
+    c = k.param("c")
+    assert c.type.base == "float" and len(c.type.dims) == 2
+    # body: foreach > foreach > {decl, for, +=}
+    outer = k.body.stmts[0]
+    assert isinstance(outer, ast.Foreach) and outer.unit == "threads"
+    inner = outer.body.stmts[0] if isinstance(outer.body, ast.Block) else outer.body
+    assert isinstance(inner, ast.Foreach)
+
+
+def test_parse_operator_precedence():
+    k = parse_kernel("perfect void f(int x) { int y = 1 + 2 * 3; }")
+    decl = k.body.stmts[0]
+    assert isinstance(decl.init, ast.Binary) and decl.init.op == "+"
+    assert decl.init.right.op == "*"
+
+
+def test_parse_bitops_for_rng():
+    k = parse_kernel(
+        "perfect void f(int s) { int t = (s << 13) ^ s; t = t >> 7 & 255; }")
+    assert isinstance(k.body.stmts[0], ast.VarDecl)
+
+
+def test_parse_if_else_and_while():
+    k = parse_kernel(
+        """
+        perfect void f(int n, float[n] a) {
+          foreach (int i in n threads) {
+            if (a[i] > 0.5) { a[i] = 1.0; } else { a[i] = 0.0; }
+            while (a[i] < 0.0) { a[i] += 1.0; }
+          }
+        }
+        """
+    )
+    fe = k.body.stmts[0]
+    body = fe.body
+    assert isinstance(body.stmts[0], ast.If)
+    assert isinstance(body.stmts[1], ast.While)
+
+
+def test_parse_increment_forms():
+    k = parse_kernel(
+        "perfect void f(int n) { for (int i = 0; i < n; i++) { int x = i; } }")
+    loop = k.body.stmts[0]
+    assert isinstance(loop.step, ast.Assign) and loop.step.op == "+="
+
+
+def test_parse_multiple_kernels():
+    ks = parse_kernels(MATMUL_SRC + "\ngpu void other(int n) { int x = n; }")
+    assert [k.name for k in ks] == ["matmul", "other"]
+
+
+def test_parse_error_reports_position():
+    with pytest.raises(McplSyntaxError, match="line"):
+        parse_kernel("perfect void f(int n) { foreach }")
+
+
+def test_parse_trailing_garbage_rejected():
+    with pytest.raises(McplSyntaxError, match="trailing"):
+        parse_kernel("perfect void f(int n) { } xxx")
+
+
+# --------------------------------------------------------------------------
+# semantics
+# --------------------------------------------------------------------------
+
+def test_analyze_matmul_ok():
+    info = analyze(parse_kernel(MATMUL_SRC))
+    assert info.description.name == "perfect"
+    assert len(info.foreachs) == 2
+    assert info.foreachs[0].depth == 0
+    assert info.foreachs[1].depth == 1
+    assert info.units_used == ["threads"]
+
+
+def test_analyze_rejects_unknown_level():
+    with pytest.raises(KeyError, match="gtx9000"):
+        analyze(parse_kernel("gtx9000 void f(int n) { }"))
+
+
+def test_analyze_rejects_unknown_par_unit():
+    src = "perfect void f(int n) { foreach (int i in n warps) { int x = i; } }"
+    with pytest.raises(McplSemanticError, match="warps"):
+        analyze(parse_kernel(src))
+
+
+def test_nvidia_level_allows_warps():
+    src = "nvidia void f(int n) { foreach (int i in n warps) { int x = i; } }"
+    info = analyze(parse_kernel(src))
+    assert info.units_used == ["warps"]
+
+
+def test_gpu_level_allows_blocks_and_local_memory():
+    src = """
+    gpu void f(int n, float[n] a) {
+      foreach (int b in n / 16 blocks) {
+        local float[16] tile;
+        foreach (int t in 16 threads) {
+          tile[t] = a[b * 16 + t];
+        }
+      }
+    }
+    """
+    info = analyze(parse_kernel(src))
+    assert "tile" in info.local_arrays
+
+
+def test_perfect_level_rejects_local_memory():
+    src = """
+    perfect void f(int n, float[n] a) {
+      foreach (int i in n threads) {
+        local float[4] tile;
+      }
+    }
+    """
+    with pytest.raises(McplSemanticError, match="local"):
+        analyze(parse_kernel(src))
+
+
+def test_undeclared_variable_rejected():
+    with pytest.raises(McplSemanticError, match="undeclared"):
+        analyze(parse_kernel("perfect void f(int n) { int x = y; }"))
+
+
+def test_redeclaration_rejected():
+    with pytest.raises(McplSemanticError, match="redeclaration"):
+        analyze(parse_kernel("perfect void f(int n) { int x = 0; int x = 1; }"))
+
+
+def test_index_arity_checked():
+    src = "perfect void f(int n, float[n,n] a) { foreach (int i in n threads) { a[i] = 0.0; } }"
+    with pytest.raises(McplSemanticError, match="dims"):
+        analyze(parse_kernel(src))
+
+
+def test_scalar_indexing_rejected():
+    with pytest.raises(McplSemanticError, match="not an array"):
+        analyze(parse_kernel("perfect void f(int n) { int x = n[0]; }"))
+
+
+def test_array_as_scalar_rejected():
+    src = "perfect void f(int n, float[n] a) { float x = a + 1.0; }"
+    with pytest.raises(McplSemanticError, match="as a scalar"):
+        analyze(parse_kernel(src))
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(McplSemanticError, match="unknown function"):
+        analyze(parse_kernel("perfect void f(int n) { float x = frobnicate(n); }"))
+
+
+def test_builtin_arity_checked():
+    with pytest.raises(McplSemanticError, match="takes 2 args"):
+        analyze(parse_kernel("perfect void f(int n) { float x = min(1.0); }"))
+
+
+def test_void_kernel_cannot_return_value():
+    with pytest.raises(McplSemanticError, match="void"):
+        analyze(parse_kernel("perfect void f(int n) { return n; }"))

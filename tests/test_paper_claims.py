@@ -1,0 +1,105 @@
+"""Behavioral tests for the paper's mechanistic claims (Sec. V-B).
+
+The paper attributes Satin's reduced scalability to two factors: (1) Satin
+must create ~8x more jobs to keep a node busy, and (2) with all cores busy
+computing, communication and load-balancing tasks starve.  Both mechanisms
+are modeled; these tests observe them directly.
+"""
+
+import pytest
+
+from repro.cluster import SimCluster, gtx480_cluster, satin_cpu_cluster
+from repro.core import CashmereConfig, CashmereRuntime
+from repro.devices.specs import HOST_CPU
+from repro.satin import RuntimeConfig, SatinRuntime
+from repro.sim import Environment
+
+from tests.test_cashmere_runtime import VecOp, make_library
+from tests.test_satin_runtime import TreeSum
+
+
+def test_satin_creates_many_more_jobs_than_cashmere():
+    """Sec. V-B factor 1: 'Satin has more overhead in job creation because
+    it needs to create 8 times more jobs to keep one node busy.'"""
+    # Same total work; Satin granularity 8x finer (as in the studies).
+    satin_cluster = SimCluster(satin_cpu_cluster(2))
+    satin_rt = SatinRuntime(satin_cluster, TreeSum(leaf_size=8),
+                            RuntimeConfig(seed=1))
+    satin_result = satin_rt.run((0, 1024))
+
+    cash_cluster = SimCluster(gtx480_cluster(2))
+    cash_rt = CashmereRuntime(cash_cluster, VecOp(leaf_size=1 << 14,
+                                                  manycore_size=1 << 14),
+                              make_library(), CashmereConfig(seed=1))
+    cash_result = cash_rt.run((0, 1 << 17))
+
+    satin_jobs_per_leafwork = satin_result.stats.total_jobs
+    cash_jobs = cash_result.stats.total_jobs
+    assert satin_result.stats.total_leaves == 128
+    assert cash_result.stats.total_leaves == 8
+    assert satin_jobs_per_leafwork > 8 * cash_jobs
+
+
+def test_busy_cores_delay_steal_responses():
+    """Sec. V-B factor 2: with all 8 cores computing, serving a steal
+    request (which needs a core) is delayed."""
+
+    def measure(busy_cores):
+        cluster = SimCluster(satin_cpu_cluster(1))
+        node = cluster.node(0)
+        env = cluster.env
+        # Saturate cores with long-running computations.
+        for _ in range(busy_cores):
+            env.process(node.cpu_delay(10.0, label="leaf"))
+        done = []
+
+        def protocol_task():
+            yield env.timeout(1.0)  # arrive mid-computation
+            yield from node.cpu_delay(15e-6, label="steal-serve")
+            done.append(env.now)
+
+        env.process(protocol_task())
+        env.run(until=12.0)
+        return done[0] - 1.0
+
+    free = measure(busy_cores=0)
+    saturated = measure(busy_cores=HOST_CPU.cores)
+    assert free == pytest.approx(15e-6)
+    assert saturated > 1000 * free  # waits for a core to free up
+
+
+def test_satin_result_transfer_overlaps_next_job():
+    """Latency hiding: a thief starts its next job while the previous
+    result is still in flight back to the origin."""
+    cluster = SimCluster(satin_cpu_cluster(2))
+    # Large results so the transfer is slow relative to a leaf.
+
+    class BigResult(TreeSum):
+        def result_bytes(self, task):
+            return 64e6  # 20 ms on QDR
+
+    app = BigResult(leaf_size=64, flops_per_item=1e5)
+    runtime = SatinRuntime(cluster, app, RuntimeConfig(seed=2))
+    result = runtime.run((0, 1024))
+    assert result.result == 1024 * 1023 // 2
+    # The run must not serialize [leaf, result-transfer] pairs: with 16
+    # leaves of ~1.2 ms and ~20 ms transfers, full serialization would take
+    # >100 ms even split across nodes.
+    leaf_time = 64 * 1e5 / HOST_CPU.core_flops
+    transfers = result.stats.results_returned
+    serialized_bound = (result.stats.total_leaves * leaf_time / 16
+                        + transfers * 0.02)
+    assert result.stats.makespan_s < serialized_bound
+
+
+def test_cashmere_efficiency_advantage_grows_with_nodes():
+    """Combining both factors: Cashmere loses less efficiency than Satin
+    as the node count grows for the fine-grained k-means workload."""
+    from repro.experiments.scalability import scalability_study
+
+    study = scalability_study("k-means", node_counts=(1, 16),
+                              systems=("satin", "cashmere-opt"))
+    satin_eff = study["satin"][1].speedup / 16
+    cash_eff = study["cashmere-opt"][1].speedup / 16
+    assert cash_eff > 0.85
+    assert satin_eff < cash_eff + 0.1  # Satin never meaningfully ahead

@@ -1,0 +1,142 @@
+"""Additional runtime coverage: allgather, error paths, stats, glue."""
+
+import pytest
+
+from repro.cluster import SimCluster, gtx480_cluster, satin_cpu_cluster
+from repro.core import CashmereConfig, CashmereRuntime
+from repro.core.scheduler import DeviceScheduler
+from repro.mcl import KernelLibrary
+from repro.satin import DivideConquerApp, RuntimeConfig, SatinRuntime
+
+
+class BadDivide(DivideConquerApp):
+    name = "bad"
+
+    def is_leaf(self, task):
+        return False
+
+    def divide(self, task):
+        return []
+
+    def task_bytes(self, task):
+        return 1.0
+
+    def result_bytes(self, task):
+        return 1.0
+
+    def leaf_flops(self, task):
+        return 1.0
+
+
+def test_empty_divide_is_an_error():
+    cluster = SimCluster(satin_cpu_cluster(1))
+    runtime = SatinRuntime(cluster, BadDivide())
+    with pytest.raises(ValueError, match="no children"):
+        runtime.run("root")
+
+
+def test_allgather_charges_all_nics():
+    """Every node injects its share concurrently: the exchange takes about
+    (P-1)/P * total / bandwidth, far less than a serialized broadcast."""
+    cluster = SimCluster(satin_cpu_cluster(4))
+    runtime = SatinRuntime(cluster, BadDivide())
+    env = cluster.env
+    total = 64e6  # 64 MB of shared state
+
+    def run():
+        start = env.now
+        yield from runtime.allgather(total)
+        return env.now - start
+
+    elapsed = env.run(until=env.process(run()))
+    bw = cluster.network.spec.bandwidth_bps
+    expected = (total / 4) * 3 / bw  # per-NIC serialization of 3 sends
+    assert elapsed == pytest.approx(expected, rel=0.05)
+    for node in cluster.nodes:
+        assert node.endpoint.bytes_sent == pytest.approx(total / 4 * 3)
+
+
+def test_allgather_single_node_is_free():
+    cluster = SimCluster(satin_cpu_cluster(1))
+    runtime = SatinRuntime(cluster, BadDivide())
+    env = cluster.env
+
+    def run():
+        yield from runtime.allgather(1e9)
+        return env.now
+
+    assert env.run(until=env.process(run())) == 0.0
+
+
+def test_scheduler_rejects_unknown_policy():
+    with pytest.raises(ValueError, match="unknown policy"):
+        DeviceScheduler(policy="magic")
+
+
+def test_cashmere_config_rejects_unknown_policy_at_runtime():
+    from tests.test_cashmere_runtime import VecOp, make_library
+
+    cluster = SimCluster(gtx480_cluster(1))
+    with pytest.raises(ValueError, match="unknown policy"):
+        CashmereRuntime(cluster, VecOp(), make_library(),
+                        CashmereConfig(scheduler_policy="magic"))
+
+
+def test_round_robin_policy_alternates_devices():
+    from tests.test_cashmere_runtime import VecOp, make_library
+    from repro.cluster import ClusterConfig
+
+    config = ClusterConfig(name="het", nodes=[("k20", "xeon_phi")])
+    cluster = SimCluster(config)
+    runtime = CashmereRuntime(cluster, VecOp(), make_library(),
+                              CashmereConfig(scheduler_policy="round-robin",
+                                             seed=1))
+    result = runtime.run((0, 1 << 18))
+    k20, phi = cluster.node(0).devices
+    # Round-robin ignores speed: both devices get the same job count.
+    assert k20.launch_counts["scale"] == phi.launch_counts["scale"]
+
+
+def test_stats_totals_consistent():
+    from tests.test_satin_runtime import TreeSum
+
+    cluster = SimCluster(satin_cpu_cluster(2))
+    runtime = SatinRuntime(cluster, TreeSum(leaf_size=64),
+                           RuntimeConfig(seed=0))
+    result = runtime.run((0, 1024))
+    stats = result.stats
+    assert stats.total_jobs == sum(stats.jobs_executed.values())
+    assert stats.total_leaves == sum(stats.leaves_executed.values())
+    assert stats.steal_successes <= stats.steal_attempts
+    assert stats.results_returned <= stats.steal_successes
+
+
+def test_kernel_library_glue_for_multiple_kernel_sets():
+    lib = KernelLibrary()
+    lib.add_source("""
+perfect void alpha(int n, float[n] a) {
+  foreach (int i in n threads) { a[i] = 1.0; }
+}
+perfect void beta(int n, float[n] a) {
+  foreach (int i in n threads) { a[i] = 2.0; }
+}
+""")
+    assert lib.kernel_names() == ["alpha", "beta"]
+    glue = lib.generate_glue("beta")
+    assert "KERNEL = 'beta'" in glue
+    assert "'gtx480': 'perfect'" in glue
+
+
+def test_interrupting_crashed_node_steal_requests():
+    """Steal requests in flight toward a node that crashes get a 'no job'
+    answer instead of hanging the thief forever."""
+    from tests.test_satin_runtime import TreeSum, expected_sum
+
+    cluster = SimCluster(satin_cpu_cluster(3))
+    app = TreeSum(leaf_size=16, flops_per_item=1e7)
+    runtime = SatinRuntime(cluster, app, RuntimeConfig(seed=5))
+    runtime.crash_after(1, delay=0.01)
+    runtime.crash_after(2, delay=0.03)  # two crashes, only master survives
+    result = runtime.run((0, 1024))
+    assert result.result == expected_sum(1024)
+    assert len(cluster.alive_nodes()) == 1

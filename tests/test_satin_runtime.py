@@ -1,0 +1,226 @@
+"""Tests for the Satin divide-and-conquer runtime on the simulated cluster."""
+
+import pytest
+
+from repro.cluster import SimCluster, satin_cpu_cluster
+from repro.satin import (
+    DivideConquerApp,
+    RuntimeConfig,
+    SatinRuntime,
+    SharedObject,
+)
+
+
+class TreeSum(DivideConquerApp):
+    """Sums the integers in [lo, hi) by recursive halving.
+
+    Each leaf 'computes' with a configurable flop count so tests control
+    granularity; the returned value is the real arithmetic sum, so results
+    prove that stealing/recovery never corrupt the computation.
+    """
+
+    name = "treesum"
+
+    def __init__(self, leaf_size=64, flops_per_item=1e5):
+        self.leaf_size = leaf_size
+        self.flops_per_item = flops_per_item
+
+    def is_leaf(self, task):
+        lo, hi = task
+        return hi - lo <= self.leaf_size
+
+    def divide(self, task):
+        lo, hi = task
+        mid = (lo + hi) // 2
+        return [(lo, mid), (mid, hi)]
+
+    def combine(self, task, results):
+        return sum(results)
+
+    def task_bytes(self, task):
+        return 16.0
+
+    def result_bytes(self, task):
+        return 8.0
+
+    def leaf_flops(self, task):
+        lo, hi = task
+        return (hi - lo) * self.flops_per_item
+
+    def leaf(self, task, ctx):
+        yield from ctx.node.cpu_compute(self.leaf_flops(task), label="sum")
+        lo, hi = task
+        return sum(range(lo, hi))
+
+
+def run_treesum(num_nodes, size=1024, leaf_size=64, seed=42, **cfg_kwargs):
+    cluster = SimCluster(satin_cpu_cluster(num_nodes))
+    app = TreeSum(leaf_size=leaf_size)
+    config = RuntimeConfig(seed=seed, **cfg_kwargs)
+    runtime = SatinRuntime(cluster, app, config)
+    result = runtime.run((0, size))
+    return result, runtime
+
+
+def expected_sum(size):
+    return size * (size - 1) // 2
+
+
+def test_single_node_correct_result():
+    result, _ = run_treesum(1)
+    assert result.result == expected_sum(1024)
+
+
+def test_multi_node_correct_result():
+    result, _ = run_treesum(4)
+    assert result.result == expected_sum(1024)
+
+
+def test_stats_account_all_leaves():
+    result, _ = run_treesum(2, size=1024, leaf_size=64)
+    assert result.stats.total_leaves == 1024 // 64
+    assert result.stats.total_leaf_flops == pytest.approx(1024 * 1e5)
+
+
+def test_work_is_actually_stolen():
+    result, _ = run_treesum(4)
+    assert result.stats.steal_successes > 0
+    # More than one node executed leaves.
+    assert len(result.stats.leaves_executed) > 1
+
+
+def test_scaling_reduces_makespan():
+    r1, _ = run_treesum(1, size=4096)
+    r4, _ = run_treesum(4, size=4096)
+    assert r4.stats.makespan_s < r1.stats.makespan_s
+    speedup = r1.stats.makespan_s / r4.stats.makespan_s
+    assert speedup > 2.0  # should be close to 4 for this regular workload
+
+
+def test_deterministic_given_seed():
+    r1, _ = run_treesum(3, seed=7)
+    r2, _ = run_treesum(3, seed=7)
+    assert r1.stats.makespan_s == r2.stats.makespan_s
+    assert r1.stats.steal_attempts == r2.stats.steal_attempts
+
+
+def test_different_seed_different_schedule():
+    r1, _ = run_treesum(3, seed=7)
+    r2, _ = run_treesum(3, seed=8)
+    # Same answer, (almost surely) different stealing pattern.
+    assert r1.result == r2.result
+
+
+def test_runtime_single_use():
+    _, runtime = run_treesum(1)
+    with pytest.raises(RuntimeError, match="exactly once"):
+        runtime.run((0, 16))
+
+
+def test_gflops_metric():
+    result, _ = run_treesum(2)
+    g = result.stats.gflops()
+    assert g > 0
+    # Cannot exceed the cluster's total sustained CPU rate.
+    from repro.devices.specs import HOST_CPU
+    assert g * 1e9 <= 2 * HOST_CPU.cores * HOST_CPU.core_flops * 1.01
+
+
+# --------------------------------------------------------------------------
+# fault tolerance
+# --------------------------------------------------------------------------
+
+def test_crash_during_run_still_correct():
+    cluster = SimCluster(satin_cpu_cluster(4))
+    app = TreeSum(leaf_size=16, flops_per_item=1e7)
+    runtime = SatinRuntime(cluster, app, RuntimeConfig(seed=3))
+    # Crash node 2 early, while it almost certainly holds stolen work.
+    runtime.crash_after(2, delay=0.02)
+    result = runtime.run((0, 2048))
+    assert result.result == expected_sum(2048)
+    assert cluster.node(2).crashed
+
+
+def test_crash_requeues_orphans():
+    cluster = SimCluster(satin_cpu_cluster(4))
+    app = TreeSum(leaf_size=16, flops_per_item=1e7)
+    runtime = SatinRuntime(cluster, app, RuntimeConfig(seed=3))
+    runtime.crash_after(2, delay=0.02)
+    result = runtime.run((0, 2048))
+    assert result.stats.orphans_requeued > 0
+
+
+def test_crash_master_rejected():
+    cluster = SimCluster(satin_cpu_cluster(2))
+    runtime = SatinRuntime(cluster, TreeSum())
+    with pytest.raises(ValueError, match="master"):
+        runtime.crash_node(0)
+
+
+def test_crash_is_idempotent():
+    cluster = SimCluster(satin_cpu_cluster(3))
+    app = TreeSum(leaf_size=16)
+    runtime = SatinRuntime(cluster, app, RuntimeConfig(seed=1))
+    runtime.crash_after(1, delay=0.01)
+    runtime.crash_after(1, delay=0.02)  # second crash is a no-op
+    result = runtime.run((0, 1024))
+    assert result.result == expected_sum(1024)
+
+
+# --------------------------------------------------------------------------
+# shared objects
+# --------------------------------------------------------------------------
+
+def test_shared_object_broadcast_updates_all_replicas():
+    cluster = SimCluster(satin_cpu_cluster(3))
+    runtime = SatinRuntime(cluster, TreeSum())
+    obj = SharedObject(runtime, "centroids", initial=0)
+    env = cluster.env
+
+    def writer():
+        yield from obj.invoke(0, lambda old, p: old + p, 5, nbytes=1000)
+
+    def driver():
+        yield env.process(writer())
+        # Replicas converge after message delivery.
+        yield env.timeout(1.0)
+        return [obj.value(r) for r in range(3)]
+
+    runtime._start_nodes()
+    values = env.run(until=env.process(driver()))
+    assert values == [5, 5, 5]
+
+
+def test_shared_object_guard_waits_for_consistency():
+    cluster = SimCluster(satin_cpu_cluster(2))
+    runtime = SatinRuntime(cluster, TreeSum())
+    obj = SharedObject(runtime, "state", initial=0)
+    env = cluster.env
+    runtime._start_nodes()
+    log = []
+
+    def waiter():
+        value = yield obj.guard(1, lambda v: v >= 2)
+        log.append((env.now, value))
+
+    def writer():
+        yield env.timeout(0.1)
+        yield from obj.invoke(0, lambda old, p: old + p, 1, nbytes=10)
+        yield env.timeout(0.1)
+        yield from obj.invoke(0, lambda old, p: old + p, 1, nbytes=10)
+
+    env.process(waiter())
+    wp = env.process(writer())
+    env.run(until=wp)
+    env.run(until=env.now + 1.0)
+    assert len(log) == 1
+    assert log[0][1] == 2
+    assert log[0][0] > 0.2  # only after the second update arrived
+
+
+def test_duplicate_shared_object_name_rejected():
+    cluster = SimCluster(satin_cpu_cluster(2))
+    runtime = SatinRuntime(cluster, TreeSum())
+    SharedObject(runtime, "x", 0)
+    with pytest.raises(ValueError, match="already registered"):
+        SharedObject(runtime, "x", 1)

@@ -1,0 +1,255 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(5.0)
+        return env.now
+
+    p = env.process(proc())
+    assert env.run(p) == 5.0
+    assert env.now == 5.0
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+
+    def proc():
+        v = yield env.timeout(1.0, value="hello")
+        return v
+
+    assert env.run(env.process(proc())) == "hello"
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_processes_interleave_deterministically():
+    env = Environment()
+    order = []
+
+    def proc(name, delay):
+        yield env.timeout(delay)
+        order.append((name, env.now))
+
+    env.process(proc("a", 3))
+    env.process(proc("b", 1))
+    env.process(proc("c", 2))
+    env.run()
+    assert order == [("b", 1), ("c", 2), ("a", 3)]
+
+
+def test_same_time_events_fire_in_fifo_order():
+    env = Environment()
+    order = []
+
+    def proc(name):
+        yield env.timeout(1.0)
+        order.append(name)
+
+    for name in "abcd":
+        env.process(proc(name))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def child():
+        yield env.timeout(2)
+        return 42
+
+    def parent():
+        result = yield env.process(child())
+        return result + 1
+
+    assert env.run(env.process(parent())) == 43
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    ev = env.event()
+    results = []
+
+    def waiter():
+        v = yield ev
+        results.append((env.now, v))
+
+    def trigger():
+        yield env.timeout(4)
+        ev.succeed("done")
+
+    env.process(waiter())
+    env.process(trigger())
+    env.run()
+    assert results == [(4, "done")]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_propagates_to_waiter():
+    env = Environment()
+    ev = env.event()
+
+    def waiter():
+        with pytest.raises(ValueError, match="boom"):
+            yield ev
+        return "handled"
+
+    def trigger():
+        yield env.timeout(1)
+        ev.fail(ValueError("boom"))
+
+    p = env.process(waiter())
+    env.process(trigger())
+    assert env.run(p) == "handled"
+
+
+def test_unhandled_process_exception_propagates_out_of_run():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise RuntimeError("kernel failed")
+
+    env.process(bad())
+    with pytest.raises(RuntimeError, match="kernel failed"):
+        env.run()
+
+
+def test_allof_waits_for_all():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1, value="x")
+        t2 = env.timeout(5, value="y")
+        yield t1 & t2
+        return env.now
+
+    assert env.run(env.process(proc())) == 5
+
+
+def test_anyof_returns_at_first():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1, value="x")
+        t2 = env.timeout(5, value="y")
+        yield t1 | t2
+        return env.now
+
+    assert env.run(env.process(proc())) == 1
+
+
+def test_all_of_factory_with_many_events():
+    env = Environment()
+
+    def proc():
+        events = [env.timeout(i) for i in range(1, 6)]
+        yield env.all_of(events)
+        return env.now
+
+    assert env.run(env.process(proc())) == 5
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt as i:
+            log.append((env.now, i.cause))
+
+    def attacker(p):
+        yield env.timeout(3)
+        p.interrupt("stop it")
+
+    v = env.process(victim())
+    env.process(attacker(v))
+    env.run()
+    assert log == [(3, "stop it")]
+
+
+def test_interrupt_dead_process_is_noop():
+    env = Environment()
+
+    def victim():
+        yield env.timeout(1)
+
+    def attacker(p):
+        yield env.timeout(5)
+        p.interrupt()  # victim already finished
+
+    v = env.process(victim())
+    env.process(attacker(v))
+    env.run()
+    assert not v.is_alive
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc():
+        while True:
+            yield env.timeout(10)
+
+    env.process(proc())
+    env.run(until=25)
+    assert env.now == 25
+
+
+def test_run_until_past_raises():
+    env = Environment()
+    env.run(until=5)
+    with pytest.raises(SimulationError):
+        env.run(until=1)
+
+
+def test_run_until_event_deadlock_detected():
+    env = Environment()
+    ev = env.event()  # never triggered
+    with pytest.raises(SimulationError, match="deadlock"):
+        env.run(until=ev)
+
+
+def test_yield_non_event_raises_in_process():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7)
+    assert env.peek() == 7
+    env.run()
+    assert env.peek() == float("inf")

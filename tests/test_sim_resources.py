@@ -1,0 +1,209 @@
+"""Unit tests for simulation resources: Resource, Store, Container."""
+
+import pytest
+
+from repro.sim import Container, Environment, PriorityStore, Resource, SimulationError, Store
+
+
+def test_resource_serializes_users():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def user(name, hold):
+        req = res.request()
+        yield req
+        log.append((name, "start", env.now))
+        yield env.timeout(hold)
+        res.release(req)
+        log.append((name, "end", env.now))
+
+    env.process(user("a", 5))
+    env.process(user("b", 3))
+    env.run()
+    assert log == [("a", "start", 0), ("a", "end", 5), ("b", "start", 5), ("b", "end", 8)]
+
+
+def test_resource_capacity_two_runs_in_parallel():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    ends = []
+
+    def user(hold):
+        with (yield res.request()):
+            yield env.timeout(hold)
+        ends.append(env.now)
+
+    env.process(user(5))
+    env.process(user(5))
+    env.run()
+    assert ends == [5, 5]
+
+
+def test_resource_context_manager_releases():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user():
+        with (yield res.request()):
+            yield env.timeout(1)
+        return res.count
+
+    assert env.run(env.process(user())) == 0
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    times = []
+
+    def consumer():
+        yield store.get()
+        times.append(env.now)
+
+    def producer():
+        yield env.timeout(9)
+        yield store.put("x")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert times == [9]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put("a")
+        log.append(("put-a", env.now))
+        yield store.put("b")
+        log.append(("put-b", env.now))
+
+    def consumer():
+        yield env.timeout(5)
+        yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert log == [("put-a", 0), ("put-b", 5)]
+
+
+def test_store_filtered_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def run():
+        yield store.put({"tag": "x"})
+        yield store.put({"tag": "y"})
+        item = yield store.get(lambda m: m["tag"] == "y")
+        got.append(item["tag"])
+        item = yield store.get()
+        got.append(item["tag"])
+
+    env.process(run())
+    env.run()
+    assert got == ["y", "x"]
+
+
+def test_priority_store_orders_by_key():
+    env = Environment()
+    store = PriorityStore(env, key=lambda item: item[0])
+    got = []
+
+    def run():
+        yield store.put((3, "c"))
+        yield store.put((1, "a"))
+        yield store.put((2, "b"))
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item[1])
+
+    env.process(run())
+    env.run()
+    assert got == ["a", "b", "c"]
+
+
+def test_container_get_blocks_until_level():
+    env = Environment()
+    tank = Container(env, capacity=100, init=0)
+    times = []
+
+    def consumer():
+        yield tank.get(50)
+        times.append(env.now)
+
+    def producer():
+        yield env.timeout(2)
+        yield tank.put(30)
+        yield env.timeout(2)
+        yield tank.put(30)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert times == [4]
+    assert tank.level == 10
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    tank = Container(env, capacity=10, init=10)
+    log = []
+
+    def putter():
+        yield tank.put(5)
+        log.append(env.now)
+
+    def getter():
+        yield env.timeout(3)
+        yield tank.get(5)
+
+    env.process(putter())
+    env.process(getter())
+    env.run()
+    assert log == [3]
+
+
+def test_container_rejects_bad_args():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Container(env, capacity=0)
+    with pytest.raises(SimulationError):
+        Container(env, capacity=10, init=20)
+    tank = Container(env, capacity=10)
+    with pytest.raises(SimulationError):
+        tank.get(-1)
+    with pytest.raises(SimulationError):
+        tank.put(-1)

@@ -1,0 +1,96 @@
+"""Tests for the SVG chart renderer and the per-figure SVG builders."""
+
+import pytest
+
+from repro.experiments.figures import svgs_for
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.scalability import ScalabilityPoint
+from repro.util.svgplot import bar_chart, line_chart
+
+
+def test_line_chart_structure():
+    svg = line_chart("T", "x", "y", [1, 2, 4], {"a": [1, 2, 3],
+                                                "b": [1, 1.5, 2]})
+    assert svg.startswith("<svg")
+    assert svg.rstrip().endswith("</svg>")
+    assert svg.count("<polyline") == 2
+    assert svg.count("<circle") == 6
+    assert ">T</text>" in svg
+    assert ">a</text>" in svg and ">b</text>" in svg
+
+
+def test_line_chart_ideal_reference_dashed():
+    svg = line_chart("T", "x", "y", [1, 2], {"a": [1, 2]}, ideal=[1, 2])
+    assert "stroke-dasharray" in svg
+    assert svg.count("<polyline") == 2  # series + ideal
+
+
+def test_line_chart_validates_input():
+    with pytest.raises(ValueError, match="length mismatch"):
+        line_chart("T", "x", "y", [1, 2], {"a": [1]})
+    with pytest.raises(ValueError, match="needs"):
+        line_chart("T", "x", "y", [], {})
+
+
+def test_line_chart_escapes_labels():
+    svg = line_chart("a<b&c", "x", "y", [1], {"s": [1]})
+    assert "a&lt;b&amp;c" in svg
+    assert "a<b" not in svg
+
+
+def test_bar_chart_structure():
+    svg = bar_chart("T", "dev", "GFLOPS", ["k20", "phi"],
+                    {"unopt": [10, 5], "opt": [100, 40]})
+    # 4 data bars + the plot frame rectangle + 2 legend swatches + bg.
+    assert svg.count("<rect") == 4 + 1 + 2 + 1
+    assert ">k20</text>" in svg
+
+
+def test_bar_chart_validates_input():
+    with pytest.raises(ValueError, match="length mismatch"):
+        bar_chart("T", "x", "y", ["a"], {"s": [1, 2]})
+
+
+def make_scalability_result():
+    points = {
+        "satin": [ScalabilityPoint(1, 10.0, 5.0, 1.0),
+                  ScalabilityPoint(2, 5.5, 9.0, 1.8)],
+        "cashmere-opt": [ScalabilityPoint(1, 1.0, 50.0, 1.0),
+                         ScalabilityPoint(2, 0.52, 96.0, 1.9)],
+    }
+    return ExperimentResult(
+        experiment_id="fig9_10", title="t", headers=["nodes"],
+        rows=[[1], [2]],
+        extra={"study": points, "node_counts": [1, 2]})
+
+
+def test_svgs_for_scalability_pair():
+    svgs = svgs_for(make_scalability_result())
+    assert set(svgs) == {"fig9", "fig10"}
+    assert "speedup" in svgs["fig9"]
+    assert "GFLOPS" in svgs["fig10"]
+
+
+def test_svgs_for_fig15():
+    result = ExperimentResult(
+        experiment_id="fig15", title="t",
+        headers=["app", "het", "homo"],
+        rows=[["raytracer", 91.0, 97.0], ["matmul", 31.0, 36.0]])
+    svgs = svgs_for(result)
+    assert set(svgs) == {"fig15"}
+    assert "efficiency" in svgs["fig15"]
+
+
+def test_svgs_for_fig6():
+    perf = {"matmul": {"gtx480": {"unoptimized": 49.0, "optimized": 740.0},
+                       "k20": {"unoptimized": 57.0, "optimized": 1936.0}}}
+    result = ExperimentResult(experiment_id="fig6", title="t",
+                              headers=[], rows=[], extra={"performance": perf})
+    svgs = svgs_for(result)
+    assert set(svgs) == {"fig6_matmul"}
+
+
+def test_svgs_for_tables_is_empty():
+    result = ExperimentResult(experiment_id="table1", title="t",
+                              headers=[], rows=[])
+    assert svgs_for(result) == {}

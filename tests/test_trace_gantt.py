@@ -1,0 +1,109 @@
+"""Tests for trace recording and Gantt rendering."""
+
+import pytest
+
+from repro.core.gantt import gantt_overview, gantt_zoomed, kernel_lanes, node_queues
+from repro.sim.trace import Activity, TraceRecorder, render_gantt_ascii
+
+
+def make_trace():
+    t = TraceRecorder()
+    t.record("node0/gtx480[0]/kernel", "kernel", "k", 0.0, 2.0)
+    t.record("node0/gtx480[0]/kernel", "kernel", "k", 3.0, 4.0)
+    t.record("node0/gtx480[0]/h2d", "h2d", "in", 0.5, 1.0)
+    t.record("node1/cpu", "cpu", "steal", 1.0, 1.5)
+    return t
+
+
+def test_record_and_query():
+    t = make_trace()
+    assert len(t.activities) == 4
+    assert t.queues() == ["node0/gtx480[0]/kernel", "node0/gtx480[0]/h2d",
+                          "node1/cpu"]
+    assert len(t.by_kind("kernel")) == 2
+    assert t.by_queue("node1/cpu")[0].label == "steal"
+
+
+def test_disabled_recorder_drops_everything():
+    t = TraceRecorder(enabled=False)
+    t.record("q", "kernel", "x", 0, 1)
+    assert t.activities == []
+
+
+def test_negative_duration_rejected():
+    t = TraceRecorder()
+    with pytest.raises(ValueError, match="ends before"):
+        t.record("q", "kernel", "x", 2.0, 1.0)
+
+
+def test_span_and_busy_time():
+    t = make_trace()
+    assert t.span() == 4.0
+    # kernel lane: [0,2] + [3,4] = 3.0 busy
+    assert t.busy_time("node0/gtx480[0]/kernel") == pytest.approx(3.0)
+    assert t.utilization("node0/gtx480[0]/kernel") == pytest.approx(0.75)
+
+
+def test_busy_time_merges_overlapping_intervals():
+    t = TraceRecorder()
+    t.record("q", "kernel", "a", 0.0, 2.0)
+    t.record("q", "kernel", "b", 1.0, 3.0)  # overlaps
+    assert t.busy_time("q") == pytest.approx(3.0)
+
+
+def test_activity_duration():
+    a = Activity("q", "kernel", "x", 1.0, 3.5)
+    assert a.duration == 2.5
+
+
+def test_render_ascii_basic():
+    chart = render_gantt_ascii(make_trace(), width=40)
+    assert "#" in chart       # kernel bars
+    assert ">" in chart       # h2d bars
+    assert "=" in chart       # cpu bars
+    assert "node1/cpu" in chart
+
+
+def test_render_empty_trace():
+    assert render_gantt_ascii(TraceRecorder()) == "(empty trace)"
+
+
+def test_render_zoom_window():
+    chart = render_gantt_ascii(make_trace(), width=40, t0=2.5, t1=3.5)
+    # Only the second kernel interval is inside the window.
+    lines = [l for l in chart.splitlines() if l.startswith("node0/gtx480[0]/kernel")]
+    assert lines and "#" in lines[0]
+    h2d = [l for l in chart.splitlines() if "/h2d" in l]
+    assert h2d and ">" not in h2d[0]
+
+
+def test_render_kind_filter():
+    chart = render_gantt_ascii(make_trace(), width=40, kinds=("kernel",))
+    assert "#" in chart
+    assert "node1/cpu" not in chart
+
+
+def test_render_window_past_all_activity_is_blank():
+    chart = render_gantt_ascii(make_trace(), t0=10.0, t1=11.0, width=30)
+    body = "\n".join(chart.splitlines()[1:-1])  # drop header + legend
+    assert not any(ch in body for ch in "#><=?")
+
+
+def test_render_degenerate_window_rejected():
+    assert render_gantt_ascii(make_trace(), t0=5.0, t1=5.0) == "(empty window)"
+
+
+def test_node_queues_and_kernel_lanes():
+    t = make_trace()
+    assert node_queues(t, "node0") == ["node0/gtx480[0]/kernel",
+                                       "node0/gtx480[0]/h2d"]
+    assert node_queues(t, "node1") == ["node1/cpu"]
+    assert kernel_lanes(t) == ["node0/gtx480[0]/kernel"]
+
+
+def test_gantt_helpers_render():
+    t = make_trace()
+    assert "#" in gantt_overview(t, width=30)
+    zoomed = gantt_zoomed(t, ["node0"], width=30)
+    assert "node0/gtx480[0]/kernel" in zoomed
+    assert "node1/cpu" not in zoomed
