@@ -53,12 +53,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_p.add_argument("--seed", type=int, default=None,
                        help="override the run seed (where applicable)")
 
+    trace_p = sub.add_parser(
+        "trace", help="run an app with the event bus on and export a "
+                      "Chrome-trace JSON (open in chrome://tracing)")
+    trace_p.add_argument("app", help="application to trace",
+                         choices=("kmeans", "matmul", "raytracer", "nbody"))
+    trace_p.add_argument("--out", type=pathlib.Path,
+                         default=pathlib.Path("trace.json"),
+                         help="Chrome-trace output path (default: trace.json)")
+    trace_p.add_argument("--events", type=pathlib.Path, default=None,
+                         help="also write the raw event stream (JSON lines)")
+    trace_p.add_argument("--seed", type=int, default=42,
+                         help="run seed (default: 42)")
+    trace_p.add_argument("--no-summary", action="store_true",
+                         help="skip the metrics summary table")
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
         for experiment_id in list_experiments():
             print(experiment_id)
         return 0
+
+    if args.command == "trace":
+        from .obs.cli import trace_main
+        return trace_main(args.app, out=args.out, seed=args.seed,
+                          events_out=args.events,
+                          summary=not args.no_summary)
 
     targets = list_experiments() if args.experiment == "all" \
         else [args.experiment]

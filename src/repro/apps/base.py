@@ -14,13 +14,13 @@ Each application (Table II of the paper) provides:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Optional
 
 from ..cluster.das4 import ClusterConfig, SimCluster
 from ..core.runtime import CashmereConfig, CashmereRuntime
 from ..mcl.kernels import KernelLibrary
 from ..satin.job import DivideConquerApp
-from ..satin.runtime import RunResult, RuntimeConfig, SatinRuntime
+from ..satin.runtime import RuntimeConfig, SatinRuntime
 
 __all__ = ["CashmereApplication", "run_satin", "run_cashmere"]
 
@@ -48,20 +48,32 @@ class CashmereApplication(DivideConquerApp):
 def run_satin(app: DivideConquerApp, cluster_config: ClusterConfig,
               root_task: Any, seed: int = 42,
               config: Optional[RuntimeConfig] = None,
-              trace: bool = False) -> RunResult:
-    """One Satin baseline run (CPU leaves, 8 workers per node)."""
-    cluster = SimCluster(cluster_config, trace_enabled=trace)
+              trace: bool = False, obs: bool = False,
+              return_runtime: bool = False):
+    """One Satin baseline run (CPU leaves, 8 workers per node).
+
+    ``obs=True`` switches the cluster's event bus on without enabling the
+    (heavier) Gantt trace recorder; ``trace=True`` implies both.
+    """
+    cluster = SimCluster(cluster_config, trace_enabled=trace, obs_enabled=obs)
     runtime = SatinRuntime(cluster, app, config or RuntimeConfig(seed=seed))
-    return runtime.run(root_task)
+    result = runtime.run(root_task)
+    if return_runtime:
+        return result, runtime, cluster
+    return result
 
 
 def run_cashmere(app: CashmereApplication, cluster_config: ClusterConfig,
                  root_task: Any, optimized: bool = True, seed: int = 42,
                  config: Optional[CashmereConfig] = None,
-                 trace: bool = False,
+                 trace: bool = False, obs: bool = False,
                  return_runtime: bool = False):
-    """One Cashmere run with the app's kernel library."""
-    cluster = SimCluster(cluster_config, trace_enabled=trace)
+    """One Cashmere run with the app's kernel library.
+
+    ``obs=True`` switches the cluster's event bus on without enabling the
+    (heavier) Gantt trace recorder; ``trace=True`` implies both.
+    """
+    cluster = SimCluster(cluster_config, trace_enabled=trace, obs_enabled=obs)
     library = app.build_library(optimized=optimized)
     runtime = CashmereRuntime(cluster, app, library,
                               config or CashmereConfig(seed=seed))

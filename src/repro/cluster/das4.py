@@ -13,8 +13,8 @@ configurations used in the evaluation:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from ..sim.engine import Environment
 from ..sim.network import QDR_INFINIBAND, Network, NetworkSpec
@@ -57,12 +57,22 @@ class ClusterConfig:
 
 
 class SimCluster:
-    """Instantiated simulated cluster: environment, network, nodes, trace."""
+    """Instantiated simulated cluster: environment, network, nodes, trace.
 
-    def __init__(self, config: ClusterConfig, trace_enabled: bool = False):
+    Observability: the cluster's :class:`~repro.obs.bus.EventBus` lives on
+    the environment (``cluster.obs`` is an alias for ``cluster.env.obs``).
+    ``trace_enabled`` and ``obs_enabled`` both switch the bus on; the Gantt
+    :class:`TraceRecorder` is a subscriber that turns the bus's interval
+    events into activities, so figures and metrics share one event stream.
+    """
+
+    def __init__(self, config: ClusterConfig, trace_enabled: bool = False,
+                 obs_enabled: bool = False):
         self.config = config
         self.env = Environment()
-        self.trace = TraceRecorder(enabled=trace_enabled)
+        self.env.obs.enabled = trace_enabled or obs_enabled
+        self.obs = self.env.obs
+        self.trace = TraceRecorder(enabled=trace_enabled, bus=self.env.obs)
         self.network = Network(self.env, config.network)
         self.nodes: List[ComputeNode] = [
             ComputeNode(self.env, self.network, rank, devs, trace=self.trace,

@@ -44,6 +44,8 @@ class ComputeNode:
             )
         #: set by fault injection; a crashed node stops participating
         self.crashed = False
+        #: cumulative host-CPU busy time (core-seconds), for utilization
+        self.busy_cpu_s = 0.0
 
     @property
     def device_names(self) -> List[str]:
@@ -58,7 +60,11 @@ class ComputeNode:
         with (yield self.cores.request()):
             start = self.env.now
             yield self.env.timeout(flops / self.cpu.core_flops)
-            self.trace.record(f"{self.name}/cpu", "cpu", label, start, self.env.now)
+            self.busy_cpu_s += self.env.now - start
+            obs = self.env.obs
+            if obs.enabled:
+                obs.emit("cpu", node=self.rank, lane=f"{self.name}/cpu",
+                         start=start, end=self.env.now, label=label)
 
     def cpu_delay(self, seconds: float, label: str = "cpu") -> Generator:
         """Process: occupy one core for a fixed time (protocol overheads)."""
@@ -67,7 +73,11 @@ class ComputeNode:
         with (yield self.cores.request()):
             start = self.env.now
             yield self.env.timeout(seconds)
-            self.trace.record(f"{self.name}/cpu", "cpu", label, start, self.env.now)
+            self.busy_cpu_s += self.env.now - start
+            obs = self.env.obs
+            if obs.enabled:
+                obs.emit("cpu", node=self.rank, lane=f"{self.name}/cpu",
+                         start=start, end=self.env.now, label=label)
 
     def __repr__(self) -> str:
         devs = ",".join(self.device_names) or "cpu-only"

@@ -26,7 +26,7 @@ from ..cluster.das4 import SimCluster
 from ..cluster.node import ComputeNode
 from ..devices.device import SimDevice
 from ..mcl.kernels import KernelLibrary
-from ..satin.job import DivideConquerApp, LeafContext
+from ..satin.job import DivideConquerApp
 from ..satin.runtime import RunResult, RuntimeConfig, SatinRuntime
 from .scheduler import DeviceScheduler
 
@@ -77,7 +77,8 @@ class CashmereRuntime(SatinRuntime):
                  config: Optional[CashmereConfig] = None):
         super().__init__(cluster, app, config or CashmereConfig())
         self.library = library
-        self.scheduler = DeviceScheduler(policy=self.config.scheduler_policy)
+        self.scheduler = DeviceScheduler(policy=self.config.scheduler_policy,
+                                         obs=self.env.obs)
         #: compiled kernels per (node rank, kernel name, device name)
         self._node_kernels: Dict[int, Dict[str, Dict[str, Any]]] = {}
 
@@ -95,9 +96,7 @@ class CashmereRuntime(SatinRuntime):
         start = self.env.now
         root_proc = self.env.process(self._root(master, root_task))
         result = self.env.run(until=root_proc)
-        self._shutdown = True
-        self._finished = True
-        self.stats.makespan_s = self.env.now - start
+        self._finish_run(start)
         return RunResult(result=result, stats=self.stats)
 
     def _initialize(self) -> Generator:
@@ -160,7 +159,7 @@ class CashmereRuntime(SatinRuntime):
             return result
         except (KernelLaunchError, MemoryError):
             # Fig. 4: catch -> leafCPU(a, b)
-            self.stats.cpu_fallbacks += 1
+            self.stats.count_cpu_fallback()
             result = yield from super()._execute_leaf(node, task)
             return result
 
@@ -182,7 +181,7 @@ class CashmereRuntime(SatinRuntime):
                                                     kernel_name)
             finally:
                 self.scheduler.job_finished(decision)
-            self.stats.out_of_core_launches += 1
+            self.stats.count_out_of_core()
             return app.leaf_result(task)
         try:
             yield device.alloc(footprint)   # raises MemoryError if impossible

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..devices.device import SimDevice
+from ..obs.bus import EventBus
 
 __all__ = ["DeviceScheduler", "SchedulingDecision"]
 
@@ -54,13 +55,37 @@ class DeviceScheduler:
     * ``round-robin`` — speed-oblivious rotation (a naive baseline).
     """
 
-    def __init__(self, policy: str = "makespan") -> None:
+    def __init__(self, policy: str = "makespan",
+                 obs: Optional[EventBus] = None) -> None:
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; known: {POLICIES}")
         self.policy = policy
         self.decisions = 0
         self.bootstrap_decisions = 0
         self._rr_counter = 0
+        #: optional event bus; every placement emits a ``sched_decision``
+        #: event carrying the pre-decision completion snapshot so the
+        #: invariant can be replay-checked from the log alone.
+        self.obs = obs
+
+    def _emit_decision(self, devices: List[SimDevice], kernel_name: str,
+                       decision: SchedulingDecision,
+                       completions: Dict[str, float],
+                       pending: Dict[str, float]) -> None:
+        if self.obs is None or not self.obs.enabled:
+            return
+        self.obs.emit(
+            "sched_decision",
+            node=decision.device.node_rank,
+            kernel=kernel_name,
+            policy=self.policy,
+            chosen=decision.device.lane,
+            predicted_s=decision.predicted_s,
+            makespan_s=decision.makespan_s,
+            used_measurement=decision.used_measurement,
+            completions=completions,
+            pending=pending,
+        )
 
     # -- prediction -----------------------------------------------------------
     def predict(self, devices: List[SimDevice], kernel_name: str
@@ -99,6 +124,14 @@ class DeviceScheduler:
         if not devices:
             raise ValueError("node has no many-core devices")
         predictions = self.predict(devices, kernel_name)
+        # pre-decision snapshots, captured before ``pending_work_s`` mutates
+        # (only when someone will see them — this is a per-leaf hot path)
+        if self.obs is not None and self.obs.enabled:
+            pending = {d.lane: d.pending_work_s for d in devices}
+            completions = {d.lane: d.pending_work_s + predictions[d.lane][0]
+                           for d in devices}
+        else:
+            pending = completions = {}
         if self.policy != "makespan":
             if self.policy == "static":
                 dev = max(devices, key=lambda d: d.spec.static_speed)
@@ -111,6 +144,8 @@ class DeviceScheduler:
                 makespan_s=dev.pending_work_s + t_d, used_measurement=used)
             dev.pending_work_s += t_d
             self.decisions += 1
+            self._emit_decision(devices, kernel_name, decision, completions,
+                                pending)
             return decision
         best: Optional[SchedulingDecision] = None
         for dev in devices:
@@ -129,6 +164,7 @@ class DeviceScheduler:
         self.decisions += 1
         if not best.used_measurement:
             self.bootstrap_decisions += 1
+        self._emit_decision(devices, kernel_name, best, completions, pending)
         return best
 
     def job_finished(self, decision: SchedulingDecision) -> None:

@@ -30,11 +30,17 @@ class SimDevice:
 
     def __init__(self, env: Environment, spec: DeviceSpec, node_name: str,
                  index: int = 0, trace: Optional[TraceRecorder] = None,
-                 overlap: bool = True):
+                 overlap: bool = True, node_rank: Optional[int] = None):
         self.env = env
         self.spec = spec
         self.node_name = node_name
         self.index = index
+        #: rank of the owning node (for observability events); parsed from
+        #: the conventional "node<rank>" name when not given explicitly
+        if node_rank is None and node_name.startswith("node"):
+            suffix = node_name[4:]
+            node_rank = int(suffix) if suffix.isdigit() else None
+        self.node_rank = node_rank
         #: lane prefix in Gantt traces, e.g. "node3/gtx480[0]"
         self.lane = f"{node_name}/{spec.name}[{index}]"
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
@@ -59,6 +65,7 @@ class SimDevice:
         self.pending_work_s: float = 0.0
         #: lifetime totals
         self.busy_kernel_s: float = 0.0
+        self.busy_transfer_s: float = 0.0
         self.bytes_h2d: float = 0.0
         self.bytes_d2h: float = 0.0
         self.flops_done: float = 0.0
@@ -90,7 +97,12 @@ class SimDevice:
             start = self.env.now
             yield self.env.timeout(transfer_time(nbytes, self.spec))
             self.bytes_h2d += nbytes
-            self.trace.record(f"{self.lane}/h2d", "h2d", label, start, self.env.now)
+            self.busy_transfer_s += self.env.now - start
+            obs = self.env.obs
+            if obs.enabled:
+                obs.emit("h2d", node=self.node_rank, lane=f"{self.lane}/h2d",
+                         start=start, end=self.env.now, label=label,
+                         nbytes=nbytes)
 
     def copy_from_device(self, nbytes: float, label: str = "d2h") -> Generator:
         """Process: device-to-host transfer over PCIe."""
@@ -100,7 +112,12 @@ class SimDevice:
             start = self.env.now
             yield self.env.timeout(transfer_time(nbytes, self.spec))
             self.bytes_d2h += nbytes
-            self.trace.record(f"{self.lane}/d2h", "d2h", label, start, self.env.now)
+            self.busy_transfer_s += self.env.now - start
+            obs = self.env.obs
+            if obs.enabled:
+                obs.emit("d2h", node=self.node_rank, lane=f"{self.lane}/d2h",
+                         start=start, end=self.env.now, label=label,
+                         nbytes=nbytes)
 
     def run_kernel(self, profile: KernelProfile, label: Optional[str] = None) -> Generator:
         """Process: execute one kernel launch; returns the measured time."""
@@ -112,8 +129,13 @@ class SimDevice:
             self.flops_done += profile.flops
             self.measured_times[profile.name] = duration
             self.launch_counts[profile.name] = self.launch_counts.get(profile.name, 0) + 1
-            self.trace.record(f"{self.lane}/kernel", "kernel",
-                              label or profile.name, start, self.env.now)
+            obs = self.env.obs
+            if obs.enabled:
+                obs.emit("kernel", node=self.node_rank,
+                         lane=f"{self.lane}/kernel",
+                         start=start, end=self.env.now,
+                         label=label or profile.name, kernel=profile.name,
+                         device=self.spec.name, flops=profile.flops)
         return duration
 
     # -- scheduler support ---------------------------------------------------

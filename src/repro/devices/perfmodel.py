@@ -17,8 +17,7 @@ methodology shows up in Fig. 6.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from dataclasses import dataclass, replace
 
 from .specs import DeviceSpec
 

@@ -14,7 +14,7 @@ bootstrap the intra-node load balancer before measured timings exist.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 __all__ = ["DeviceSpec", "DEVICE_SPECS", "HOST_CPU", "CpuSpec", "device_spec"]
 

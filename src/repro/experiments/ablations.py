@@ -15,7 +15,7 @@ contributes, using heterogeneous k-means (the paper's flagship scenario):
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict
+from typing import Any
 
 from ..apps.base import run_cashmere
 from ..cluster.das4 import gtx480_cluster, heterogeneous_kmeans

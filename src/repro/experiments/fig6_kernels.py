@@ -12,14 +12,14 @@ its divergence is algorithmic and stepwise refinement cannot remove it.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
 from ..apps.kmeans import KMeansApp
 from ..apps.matmul import MatmulApp
 from ..apps.nbody import NBodyApp
 from ..apps.raytracer import RaytracerApp
 from ..devices.perfmodel import kernel_gflops
-from ..devices.specs import DEVICE_SPECS, device_spec
+from ..devices.specs import device_spec
 from ..mcl.hdl.library import leaf_names
 from .harness import ExperimentResult, experiment
 

@@ -9,8 +9,6 @@ kernel executions only.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
-
 from ..apps.base import run_cashmere
 from ..cluster.das4 import heterogeneous_kmeans
 from ..core.gantt import gantt_overview, gantt_zoomed, kernel_lanes
@@ -71,7 +69,11 @@ def fig16_17(seed: int = 42, width: int = 100) -> ExperimentResult:
             "fig16": zoomed,
             "fig17": overview,
             "trace": trace,
+            #: the raw event stream behind the Gantt charts — the trace
+            #: recorder is just one subscriber of this bus
+            "events": list(cluster.obs.events),
             "k20_jobs": k20_jobs,
             "phi_jobs": phi_jobs,
         },
+        metrics=result.stats.registry,
     )

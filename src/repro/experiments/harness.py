@@ -8,9 +8,9 @@ can render them as the text tables the benchmark harness prints.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional
 
-from ..util.tables import format_series, format_table
+from ..util.tables import format_table
 
 __all__ = ["ExperimentResult", "EXPERIMENTS", "experiment", "run_experiment",
            "list_experiments"]
@@ -26,10 +26,19 @@ class ExperimentResult:
     rows: List[List[Any]]
     #: free-form extras (raw series, traces, ...)
     extra: Dict[str, Any] = field(default_factory=dict)
+    #: the run's :class:`~repro.obs.metrics.MetricsRegistry`, when the runner
+    #: kept a runtime around (``result.stats.registry``); lets callers render
+    #: the metric summary next to the paper table from one source of truth
+    metrics: Optional[Any] = None
 
-    def render(self) -> str:
-        return format_table(self.headers, self.rows,
-                            title=f"[{self.experiment_id}] {self.title}")
+    def render(self, with_metrics: bool = False) -> str:
+        out = format_table(self.headers, self.rows,
+                           title=f"[{self.experiment_id}] {self.title}")
+        if with_metrics and self.metrics is not None:
+            from ..obs.export import metrics_summary
+            out += "\n\n" + metrics_summary(
+                self.metrics, title=f"[{self.experiment_id}] metrics")
+        return out
 
 
 #: experiment id -> runner registry

@@ -14,7 +14,7 @@ lower for the communication-bound matmul.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from ..apps.base import run_cashmere
 from ..cluster.das4 import (

@@ -15,7 +15,7 @@ All runs strong-scale the paper-size problem.  "Scalability" figures
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence
 
 from ..apps.base import run_cashmere, run_satin
 from ..apps.kmeans import KMeansApp

@@ -16,7 +16,7 @@ kernel semantics is validated via the MCPL interpreter instead.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..mcpl import ast
 from ..mcpl.semantics import KernelInfo, analyze

@@ -23,7 +23,7 @@ added value of those levels is sharper feedback and device parameters.
 from __future__ import annotations
 
 import copy
-from typing import List, Optional
+from typing import List
 
 from ..hdl.ast import HardwareDescription
 from ..hdl.library import get_description

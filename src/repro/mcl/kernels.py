@@ -15,7 +15,7 @@ cost model — the :class:`CompiledKernel` Cashmere ships to each node.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..devices.perfmodel import KernelProfile

@@ -14,7 +14,7 @@ values (the raytracer's xorshift RNG relies on wrap-around).
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, Optional, Sequence, Union
 
 import numpy as np
 

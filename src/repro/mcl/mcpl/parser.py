@@ -17,7 +17,7 @@ xorshift RNG needs them).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from . import ast
 from .lexer import McplSyntaxError, Token, tokenize

@@ -19,13 +19,16 @@ __all__ = ["WorkDeque"]
 class WorkDeque:
     """Double-ended job queue with blocking waits."""
 
-    def __init__(self, env: Environment):
+    def __init__(self, env: Environment, observer=None):
         self.env = env
         self.items: List[Job] = []
         self._waiters: List[Event] = []
         #: lifetime counters
         self.pushed = 0
         self.stolen = 0
+        #: optional callable(depth) invoked after every push — the metrics
+        #: registry uses it to sample the queue-depth histogram
+        self.observer = observer
 
     def __len__(self) -> int:
         return len(self.items)
@@ -37,6 +40,8 @@ class WorkDeque:
             self._waiters.pop(0).succeed(job)
         else:
             self.items.append(job)
+        if self.observer is not None:
+            self.observer(len(self.items))
 
     def pop(self) -> Optional[Job]:
         """Non-blocking pop from the new end (owner's depth-first order)."""

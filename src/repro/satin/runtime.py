@@ -25,11 +25,13 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..cluster.das4 import SimCluster
 from ..cluster.node import ComputeNode
+from ..obs.export import overlap_fraction
+from ..obs.metrics import MetricsRegistry
 from ..sim.engine import Environment, Event, Interrupt, Process
 from .job import DivideConquerApp, Job, LeafContext
 from .queues import WorkDeque
@@ -60,28 +62,161 @@ class RuntimeConfig:
     max_failed_steals: Optional[int] = None
 
 
-@dataclass
 class RunStats:
-    """Counters collected during one run."""
+    """Counters collected during one run.
 
-    makespan_s: float = 0.0
-    jobs_executed: Dict[int, int] = field(default_factory=dict)
-    leaves_executed: Dict[int, int] = field(default_factory=dict)
-    steal_attempts: int = 0
-    steal_successes: int = 0
-    results_returned: int = 0
-    orphans_requeued: int = 0
-    cpu_fallbacks: int = 0
-    out_of_core_launches: int = 0
-    total_leaf_flops: float = 0.0
+    Since the unified observability layer (:mod:`repro.obs`) this is a
+    *view* over a :class:`~repro.obs.metrics.MetricsRegistry` — the
+    registry is the only bookkeeping path, and the historical field names
+    (``steal_attempts``, ``jobs_executed``, ...) are read-only projections
+    of its counters.  Access the registry directly for per-node/per-device
+    breakdowns, histograms and derived gauges.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.makespan_s: float = 0.0
+        r = self.registry
+        self._jobs = r.counter(
+            "satin_jobs_executed_total", "jobs executed, by node")
+        self._leaves = r.counter(
+            "satin_leaves_executed_total", "leaf tasks executed, by node")
+        self._leaf_flops = r.counter(
+            "satin_leaf_flops_total", "application flops performed by leaves")
+        self._steal_attempts = r.counter(
+            "satin_steal_attempts_total", "steal requests sent, by thief node")
+        self._steal_successes = r.counter(
+            "satin_steal_successes_total", "successful steals, by thief node")
+        self._results = r.counter(
+            "satin_results_returned_total", "stolen-job results returned")
+        self._orphans = r.counter(
+            "satin_orphans_requeued_total", "orphan jobs re-queued, by origin")
+        self._fallbacks = r.counter(
+            "cashmere_cpu_fallbacks_total", "leaves that fell back to the CPU")
+        self._ooc = r.counter(
+            "cashmere_out_of_core_launches_total", "out-of-core leaf launches")
+        self._spawns = r.counter(
+            "satin_jobs_spawned_total", "jobs spawned into work deques, by node")
+        self._queue_depth = r.histogram(
+            "satin_queue_depth", "work-deque depth observed at each push")
+        # hot-path bound children: label keys resolved once per (metric,
+        # rank), per-call cost is one dict get + one dict-slot update
+        # (keeps the disabled-observability overhead within the <5%
+        # budget of docs/observability.md)
+        self._jobs_c: Dict[int, Any] = {}
+        self._leaves_c: Dict[int, Any] = {}
+        self._spawns_c: Dict[int, Any] = {}
+        self._attempts_c: Dict[int, Any] = {}
+        self._successes_c: Dict[int, Any] = {}
+        self._orphans_c: Dict[int, Any] = {}
+        self._depth_c: Dict[int, Any] = {}
+        self._leaf_flops_inc = self._leaf_flops.child()
+        self._results_inc = self._results.child()
+        self._fallbacks_inc = self._fallbacks.child()
+        self._ooc_inc = self._ooc.child()
+
+    # -- mutation (used by the runtimes; one bookkeeping path) -------------
+    def count_job(self, rank: int) -> None:
+        fn = self._jobs_c.get(rank)
+        if fn is None:
+            fn = self._jobs_c[rank] = self._jobs.child(node=rank)
+        fn()
+
+    def count_leaf(self, rank: int, flops: float) -> None:
+        fn = self._leaves_c.get(rank)
+        if fn is None:
+            fn = self._leaves_c[rank] = self._leaves.child(node=rank)
+        fn()
+        self._leaf_flops_inc(flops)
+
+    def count_spawn(self, rank: int) -> None:
+        fn = self._spawns_c.get(rank)
+        if fn is None:
+            fn = self._spawns_c[rank] = self._spawns.child(node=rank)
+        fn()
+
+    def count_steal_attempt(self, rank: int) -> None:
+        fn = self._attempts_c.get(rank)
+        if fn is None:
+            fn = self._attempts_c[rank] = self._steal_attempts.child(node=rank)
+        fn()
+
+    def count_steal_success(self, rank: int) -> None:
+        fn = self._successes_c.get(rank)
+        if fn is None:
+            fn = self._successes_c[rank] = self._steal_successes.child(node=rank)
+        fn()
+
+    def count_result_returned(self) -> None:
+        self._results_inc()
+
+    def count_orphan_requeued(self, origin_rank: int) -> None:
+        fn = self._orphans_c.get(origin_rank)
+        if fn is None:
+            fn = self._orphans_c[origin_rank] = self._orphans.child(
+                node=origin_rank)
+        fn()
+
+    def count_cpu_fallback(self) -> None:
+        self._fallbacks_inc()
+
+    def count_out_of_core(self) -> None:
+        self._ooc_inc()
+
+    def observe_queue_depth(self, rank: int, depth: int) -> None:
+        fn = self._depth_c.get(rank)
+        if fn is None:
+            fn = self._depth_c[rank] = self._queue_depth.child(node=rank)
+        fn(depth)
+
+    # -- legacy field views -------------------------------------------------
+    @staticmethod
+    def _by_node(counter) -> Dict[int, int]:
+        return {rank: int(v) for rank, v in sorted(counter.by_label("node").items())}
+
+    @property
+    def jobs_executed(self) -> Dict[int, int]:
+        return self._by_node(self._jobs)
+
+    @property
+    def leaves_executed(self) -> Dict[int, int]:
+        return self._by_node(self._leaves)
+
+    @property
+    def steal_attempts(self) -> int:
+        return int(self._steal_attempts.total)
+
+    @property
+    def steal_successes(self) -> int:
+        return int(self._steal_successes.total)
+
+    @property
+    def results_returned(self) -> int:
+        return int(self._results.total)
+
+    @property
+    def orphans_requeued(self) -> int:
+        return int(self._orphans.total)
+
+    @property
+    def cpu_fallbacks(self) -> int:
+        return int(self._fallbacks.total)
+
+    @property
+    def out_of_core_launches(self) -> int:
+        return int(self._ooc.total)
+
+    @property
+    def total_leaf_flops(self) -> float:
+        return self._leaf_flops.total
 
     @property
     def total_jobs(self) -> int:
-        return sum(self.jobs_executed.values())
+        return int(self._jobs.total)
 
     @property
     def total_leaves(self) -> int:
-        return sum(self.leaves_executed.values())
+        return int(self._leaves.total)
 
     def gflops(self) -> float:
         """Application-level achieved GFLOPS (the figures' y-axis)."""
@@ -111,13 +246,23 @@ class SatinRuntime:
         self.config = config or RuntimeConfig()
         self.rng = random.Random(self.config.seed)
         self.stats = RunStats()
+        #: observability event bus (alias of ``env.obs``)
+        self.obs = self.env.obs
+        # Each deque samples its depth into the queue-depth histogram on
+        # every push; the bound child makes that a plain list append.
         self.deques: Dict[int, WorkDeque] = {
-            node.rank: WorkDeque(self.env) for node in cluster.nodes}
+            node.rank: WorkDeque(
+                self.env,
+                observer=self.stats._queue_depth.child(node=node.rank))
+            for node in cluster.nodes}
         #: jobs stolen *from* each origin, by job id (fault tolerance)
         self._stolen_out: Dict[int, Job] = {}
         #: pending steal requests: req_id -> (wakeup event, victim rank)
         self._steal_waits: Dict[int, Tuple[Event, int]] = {}
         self._req_ids = itertools.count()
+        #: per-runtime job ids keep the observability event stream
+        #: deterministic across runs within one process
+        self._job_ids = itertools.count()
         self._processes: Dict[int, List[Process]] = {}
         self._shared_objects: Dict[str, Any] = {}
         #: nodes with a sync-steal helper in flight (at most one per node)
@@ -139,10 +284,58 @@ class SatinRuntime:
         start = self.env.now
         root_proc = self.env.process(self._root(master, root_task))
         result = self.env.run(until=root_proc)
+        self._finish_run(start)
+        return RunResult(result=result, stats=self.stats)
+
+    def _finish_run(self, start: float) -> None:
+        """Shared end-of-run bookkeeping: makespan + derived gauges."""
         self._shutdown = True
         self._finished = True
         self.stats.makespan_s = self.env.now - start
-        return RunResult(result=result, stats=self.stats)
+        self._finalize_metrics()
+
+    def _finalize_metrics(self) -> None:
+        """Derive the per-node / per-device gauges the paper's figures use.
+
+        Everything here is computed from counters and (when the bus is on)
+        the event stream — no second bookkeeping path.
+        """
+        r = self.stats.registry
+        makespan = self.stats.makespan_s
+        steal_ratio = r.gauge(
+            "satin_steal_success_ratio", "steal successes / attempts, by node")
+        attempts = self.stats._steal_attempts.by_label("node")
+        successes = self.stats._steal_successes.by_label("node")
+        for rank, att in sorted(attempts.items()):
+            steal_ratio.set(successes.get(rank, 0.0) / att if att else 0.0,
+                            node=rank)
+        cpu_util = r.gauge(
+            "node_cpu_utilization", "host-CPU busy fraction, by node")
+        dev_util = r.gauge(
+            "device_utilization", "kernel-engine busy fraction, by device lane")
+        overlap = r.gauge(
+            "device_overlap_fraction",
+            "fraction of PCIe transfer time overlapped with kernels")
+        net_bytes = r.gauge("network_bytes_total",
+                            "bytes carried by the interconnect")
+        net_msgs = r.gauge("network_messages_total",
+                           "messages carried by the interconnect")
+        net_bytes.set(self.cluster.network.total_bytes)
+        net_msgs.set(self.cluster.network.total_messages)
+        events = self.obs.events if self.obs.enabled else None
+        for node in self.cluster.nodes:
+            if makespan > 0:
+                cpu_util.set(
+                    min(node.busy_cpu_s / (node.cpu.cores * makespan), 1.0),
+                    node=node.rank)
+            for dev in node.devices:
+                if makespan > 0:
+                    dev_util.set(min(dev.busy_kernel_s / makespan, 1.0),
+                                 lane=dev.lane)
+                if events is not None:
+                    frac = overlap_fraction(events, dev.lane)
+                    if frac is not None:
+                        overlap.set(frac, lane=dev.lane)
 
     def register_shared_object(self, obj: Any) -> None:
         """Attach a :class:`repro.satin.shared_objects.SharedObject`."""
@@ -161,6 +354,8 @@ class SatinRuntime:
         if node.crashed:
             return
         node.crashed = True
+        if self.obs.enabled:
+            self.obs.emit("crash", node=rank)
         for proc in self._processes.get(rank, []):
             proc.interrupt("node crashed")
         # Steal requests in flight to the dead node fail.
@@ -305,8 +500,12 @@ class SatinRuntime:
             job.thief_rank = payload["thief"]
             self._stolen_out[job.id] = job
             nbytes += self.app.task_bytes(job.task)
-        self.cluster.trace.record(f"node{node.rank}/steal", "steal",
-                                  "serve", self.env.now, self.env.now)
+        if self.obs.enabled:
+            self.obs.emit("steal", node=node.rank,
+                          lane=f"node{node.rank}/steal",
+                          start=self.env.now, end=self.env.now,
+                          label="serve", thief=payload["thief"],
+                          hit=job is not None)
         yield from node.endpoint.send(
             payload["thief"], "steal_reply",
             payload={"req_id": payload["req_id"], "job": job},
@@ -317,7 +516,10 @@ class SatinRuntime:
                                   label="result-recv")
         job = self._stolen_out.pop(payload["job_id"], None)
         if job is not None and not job.done.triggered:
-            self.stats.results_returned += 1
+            self.stats.count_result_returned()
+            if self.obs.enabled:
+                self.obs.emit("result_recv", node=node.rank,
+                              job_id=payload["job_id"])
             job.done.succeed(payload["result"])
 
     # ------------------------------------------------------------------
@@ -339,7 +541,10 @@ class SatinRuntime:
             req_id = next(self._req_ids)
             wake = self.env.event()
             self._steal_waits[req_id] = (wake, victim.rank)
-            self.stats.steal_attempts += 1
+            self.stats.count_steal_attempt(node.rank)
+            if self.obs.enabled:
+                self.obs.emit("steal_attempt", node=node.rank,
+                              victim=victim.rank, req_id=req_id)
             yield from node.endpoint.send(
                 victim.rank, "steal_request",
                 payload={"req_id": req_id, "thief": node.rank},
@@ -347,7 +552,11 @@ class SatinRuntime:
             job = yield wake
             self._steal_waits.pop(req_id, None)
             if job is not None:
-                self.stats.steal_successes += 1
+                self.stats.count_steal_success(node.rank)
+                if self.obs.enabled:
+                    self.obs.emit("steal_success", node=node.rank,
+                                  victim=victim.rank, req_id=req_id,
+                                  job_id=job.id)
                 return job
             # Check for local work that arrived while the request was out.
             local = self.deques[node.rank].pop()
@@ -359,8 +568,7 @@ class SatinRuntime:
     # execution
     # ------------------------------------------------------------------
     def _execute_job(self, node: ComputeNode, job: Job) -> Generator:
-        self.stats.jobs_executed[node.rank] = \
-            self.stats.jobs_executed.get(node.rank, 0) + 1
+        self.stats.count_job(node.rank)
         result = yield from self._run_task(node, job.task, job.depth,
                                            job.manycore)
         if job.origin_rank == node.rank:
@@ -380,9 +588,7 @@ class SatinRuntime:
         app = self.app
         if app.is_leaf(task):
             result = yield from self._execute_leaf(node, task)
-            self.stats.leaves_executed[node.rank] = \
-                self.stats.leaves_executed.get(node.rank, 0) + 1
-            self.stats.total_leaf_flops += app.leaf_flops(task)
+            self.stats.count_leaf(node.rank, app.leaf_flops(task))
             return result
         if not manycore and self._manycore_enabled(node) and app.is_manycore(task):
             manycore = True  # Cashmere.enableManyCore()
@@ -393,13 +599,22 @@ class SatinRuntime:
             results = yield from self._run_manycore_children(node, children, depth)
         else:
             jobs: List[Job] = []
+            rank = node.rank
+            obs = self.obs
+            deque = self.deques[rank]
+            count_spawn = self.stats.count_spawn
             for child in children:
                 yield from node.cpu_delay(self.config.spawn_overhead_s,
                                           label="spawn")
-                job = Job(task=child, origin_rank=node.rank, depth=depth + 1,
-                          manycore=False, done=self.env.event())
+                job = Job(task=child, origin_rank=rank, depth=depth + 1,
+                          manycore=False, done=self.env.event(),
+                          id=next(self._job_ids))
                 jobs.append(job)
-                self.deques[node.rank].push(job)
+                count_spawn(rank)
+                if obs.enabled:
+                    obs.emit("spawn", node=rank, job_id=job.id,
+                             depth=job.depth)
+                deque.push(job)
             results = yield from self._sync(node, jobs)
         return app.combine(task, results)
 
@@ -511,5 +726,8 @@ class SatinRuntime:
                 origin = self.cluster.node(job.origin_rank)
                 if origin.crashed:
                     continue
-                self.stats.orphans_requeued += 1
+                self.stats.count_orphan_requeued(job.origin_rank)
+                if self.obs.enabled:
+                    self.obs.emit("orphan_requeue", node=job.origin_rank,
+                                  job_id=job_id, dead_node=dead_rank)
                 self.deques[job.origin_rank].push(job)

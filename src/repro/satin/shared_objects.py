@@ -11,7 +11,7 @@ The iterative applications use this to distribute updated centroids
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List
 
 __all__ = ["SharedObject"]
 

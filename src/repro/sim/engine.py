@@ -17,6 +17,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from ..obs.bus import EventBus
+
 __all__ = [
     "Environment",
     "Event",
@@ -309,6 +311,9 @@ class Environment:
         self._queue: List = []  # (time, priority, seq, event)
         self._seq = itertools.count()
         self._active_proc: Optional[Process] = None
+        #: observability event bus (repro.obs): disabled by default, so the
+        #: instrumented call sites throughout the stack cost nothing.
+        self.obs: EventBus = EventBus(clock=lambda: self._now)
 
     @property
     def now(self) -> float:

@@ -11,8 +11,8 @@ when fast many-core leaves meet a relatively slow network.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Iterable, Optional
 
 from .engine import Environment, SimulationError
 from .resources import Resource, Store
@@ -128,6 +128,7 @@ class Network:
                       nbytes=nbytes, send_time=env.now)
         with (yield src_ep.nic.request()):
             # Serialization occupies the sender's injection link.
+            inject_start = env.now
             serialize = self.spec.per_message_overhead_s + nbytes / self.spec.bandwidth_bps
             yield env.timeout(serialize)
         # Fabric latency does not occupy the NIC.
@@ -140,6 +141,14 @@ class Network:
         dst_ep.messages_received += 1
         self.total_bytes += nbytes
         self.total_messages += 1
+        obs = env.obs
+        if obs.enabled:
+            # One interval per message on the sender's NIC lane: NIC
+            # injection start to delivery (the paper's node<->node bars).
+            obs.emit("send", node=src_ep.rank,
+                     lane=f"node{src_ep.rank}/net",
+                     start=inject_start, end=env.now,
+                     label=tag, dst=dst, nbytes=nbytes)
         yield dst_ep.mailbox.put(msg)
         return msg
 

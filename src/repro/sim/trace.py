@@ -5,12 +5,23 @@ per-queue bars for CPU tasks, host<->device transfers, node<->node sends and
 kernel executions.  :class:`TraceRecorder` collects exactly those intervals;
 :func:`render_gantt_ascii` draws them as text so the benchmark harness can
 print the figures.
+
+Since the introduction of the unified observability layer
+(:mod:`repro.obs`), the recorder is a *view* over the event bus: nodes,
+devices and the network emit structured interval events to
+``Environment.obs``, and a recorder attached to that bus converts them into
+Gantt :class:`Activity` bars.  Standalone use (construct a recorder, call
+:meth:`TraceRecorder.record` directly) keeps working for tests and ad-hoc
+analysis — both paths feed the same activity list, so Gantt figures and the
+ablation tables come from one source of truth.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
+
+from ..obs.bus import INTERVAL_KINDS, EventBus, ObsEvent
 
 __all__ = ["Activity", "TraceRecorder", "render_gantt_ascii"]
 
@@ -31,11 +42,29 @@ class Activity:
 
 
 class TraceRecorder:
-    """Collects :class:`Activity` records during a simulated run."""
+    """Collects :class:`Activity` records during a simulated run.
 
-    def __init__(self, enabled: bool = True):
+    Pass ``bus`` to attach the recorder to an observability event bus
+    (``Environment.obs``): every *interval* event emitted on the bus then
+    becomes one Gantt activity.  Without a bus the recorder is a plain
+    container fed through :meth:`record`.
+    """
+
+    def __init__(self, enabled: bool = True, bus: Optional[EventBus] = None):
         self.enabled = enabled
         self.activities: List[Activity] = []
+        self.bus = bus
+        if bus is not None:
+            bus.subscribe(self._on_event)
+
+    def _on_event(self, ev: ObsEvent) -> None:
+        """Bus subscriber: interval events become Gantt bars."""
+        if not self.enabled or ev.lane is None or not ev.is_interval:
+            return
+        if ev.kind not in INTERVAL_KINDS:
+            return
+        label = ev.fields.get("label", ev.kind)
+        self.record(ev.lane, ev.kind, str(label), ev.start, ev.end)
 
     def record(self, queue: str, kind: str, label: str, start: float, end: float) -> None:
         if not self.enabled:

@@ -1,7 +1,6 @@
 """N-body application: kernel correctness and iterative distributed runs."""
 
 import numpy as np
-import pytest
 
 from repro.apps.base import run_cashmere, run_satin
 from repro.apps.nbody import (

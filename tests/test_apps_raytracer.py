@@ -1,7 +1,6 @@
 """Raytracer application: kernel-vs-reference and end-to-end rendering."""
 
 import numpy as np
-import pytest
 
 from repro.apps.base import run_cashmere, run_satin
 from repro.apps.raytracer import (
@@ -12,7 +11,7 @@ from repro.apps.raytracer import (
     reference_trace,
     small_app,
 )
-from repro.cluster import ClusterConfig, gtx480_cluster, satin_cpu_cluster
+from repro.cluster import gtx480_cluster, satin_cpu_cluster
 from repro.mcl import analyze_cost, execute, parse_kernel
 
 

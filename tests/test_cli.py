@@ -1,8 +1,6 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
-import pathlib
 
-import pytest
 
 from repro.__main__ import main
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster import SimCluster, gtx480_cluster, satin_cpu_cluster
 from repro.core import Cashmere, CashmereConfig, CashmereRuntime, MCL
-from repro.core.api import KernelHandle, KernelLaunch
+from repro.core.api import KernelHandle
 from repro.core.runtime import KernelLaunchError
 from repro.mcl import KernelLibrary
 from repro.satin import DivideConquerApp, LeafContext, SatinRuntime

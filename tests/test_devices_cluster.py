@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cluster import (
-    ClusterConfig,
     SimCluster,
     gtx480_cluster,
     heterogeneous_kmeans,

@@ -9,7 +9,6 @@ import pytest
 from repro.experiments import list_experiments, run_experiment
 from repro.experiments.fig6_kernels import FIG6_LEAVES, kernel_performance
 from repro.experiments.harness import ExperimentResult
-from repro.experiments.papertables import APPLICATION_CLASSES, TOP500_HETEROGENEOUS
 from repro.experiments.scalability import scalability_study
 
 

@@ -1,0 +1,105 @@
+"""Fault-injection observability: crashes and orphan re-queues on the bus.
+
+Killing a node mid-run must leave a forensic record: one ``crash`` event for
+the dead node, and one ``orphan_requeue`` event per recovered job — whose
+count equals the runtime's ``orphans_requeued`` statistic (same source of
+truth), while the computed result stays correct.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.das4 import SimCluster, satin_cpu_cluster
+from repro.satin.job import DivideConquerApp
+from repro.satin.runtime import RuntimeConfig, SatinRuntime
+
+
+class TreeSum(DivideConquerApp):
+    name = "treesum"
+
+    def __init__(self, leaf_size=16, flops_per_item=1e7):
+        self.leaf_size = leaf_size
+        self.flops_per_item = flops_per_item
+
+    def is_leaf(self, task):
+        lo, hi = task
+        return hi - lo <= self.leaf_size
+
+    def divide(self, task):
+        lo, hi = task
+        mid = (lo + hi) // 2
+        return [(lo, mid), (mid, hi)]
+
+    def combine(self, task, results):
+        return sum(results)
+
+    def task_bytes(self, task):
+        return 16.0
+
+    def result_bytes(self, task):
+        return 8.0
+
+    def leaf_flops(self, task):
+        lo, hi = task
+        return (hi - lo) * self.flops_per_item
+
+    def leaf(self, task, ctx):
+        yield from ctx.node.cpu_compute(self.leaf_flops(task), label="sum")
+        lo, hi = task
+        return sum(range(lo, hi))
+
+
+def _crash_run(seed=3, crash_rank=2, delay=0.02, size=2048):
+    cluster = SimCluster(satin_cpu_cluster(4), obs_enabled=True)
+    app = TreeSum(leaf_size=16, flops_per_item=1e7)
+    runtime = SatinRuntime(cluster, app, RuntimeConfig(seed=seed))
+    runtime.crash_after(crash_rank, delay=delay)
+    result = runtime.run((0, size))
+    return result, runtime, cluster
+
+
+def test_crash_emits_one_crash_event():
+    result, runtime, cluster = _crash_run()
+    crashes = cluster.obs.by_kind("crash")
+    assert len(crashes) == 1
+    assert crashes[0].node == 2
+    assert cluster.node(2).crashed
+
+
+def test_orphan_requeue_events_match_counter():
+    result, runtime, cluster = _crash_run()
+    requeues = cluster.obs.by_kind("orphan_requeue")
+    assert result.stats.orphans_requeued > 0, \
+        "the chosen seed/delay must actually orphan some work"
+    assert len(requeues) == result.stats.orphans_requeued
+    # Registry and event stream agree — one bookkeeping path.
+    counter = result.stats.registry.get("satin_orphans_requeued_total")
+    assert counter.total == len(requeues)
+
+
+def test_orphan_requeues_are_paired_with_the_crash():
+    result, runtime, cluster = _crash_run()
+    crash = cluster.obs.by_kind("crash")[0]
+    for ev in cluster.obs.by_kind("orphan_requeue"):
+        assert ev.fields["dead_node"] == crash.node
+        assert ev.node != crash.node, \
+            "orphans are re-queued at their origin, never at the dead node"
+        assert ev.ts >= crash.ts, \
+            "recovery cannot precede the crash in virtual time"
+        assert "job_id" in ev.fields
+
+
+def test_result_still_correct_after_crash():
+    size = 2048
+    result, runtime, cluster = _crash_run(size=size)
+    assert result.result == size * (size - 1) // 2
+
+
+def test_no_fault_events_without_crash():
+    cluster = SimCluster(satin_cpu_cluster(3), obs_enabled=True)
+    app = TreeSum(leaf_size=32, flops_per_item=1e5)
+    runtime = SatinRuntime(cluster, app, RuntimeConfig(seed=5))
+    result = runtime.run((0, 1024))
+    assert result.result == 1024 * 1023 // 2
+    assert cluster.obs.by_kind("crash") == []
+    assert cluster.obs.by_kind("orphan_requeue") == []
+    assert result.stats.orphans_requeued == 0

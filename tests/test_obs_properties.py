@@ -1,0 +1,235 @@
+"""Property-based tests for the observability layer (hypothesis).
+
+Four property families, straight from the design contract:
+
+* counters are monotone under any sequence of increments,
+* histogram quantiles are always bounded by min/max,
+* per-device utilization is within [0, 1] on randomized workloads,
+* the Chrome-trace export round-trips ``json.loads`` with non-decreasing
+  ``ts`` per (pid, tid) track, for arbitrary event streams.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - hypothesis is in the CI image
+    pytest.skip("hypothesis not installed", allow_module_level=True)
+
+from repro.obs.bus import EventBus, ObsEvent
+from repro.obs.export import chrome_trace
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+# ---------------------------------------------------------------------------
+# counters
+# ---------------------------------------------------------------------------
+
+amounts = st.lists(
+    st.floats(min_value=0.0, max_value=1e9,
+              allow_nan=False, allow_infinity=False),
+    max_size=50)
+
+
+@given(amounts=amounts)
+def test_counter_is_monotone(amounts):
+    c = Counter("test_total")
+    seen = [c.value()]
+    for a in amounts:
+        c.inc(a)
+        seen.append(c.value())
+    assert all(b >= a for a, b in zip(seen, seen[1:]))
+    assert c.value() == pytest.approx(sum(amounts))
+
+
+@given(amount=st.floats(max_value=-1e-9, min_value=-1e9, allow_nan=False))
+def test_counter_rejects_negative(amount):
+    c = Counter("test_total")
+    before = c.value()
+    with pytest.raises(ValueError):
+        c.inc(amount)
+    assert c.value() == before
+
+
+@given(per_label=st.dictionaries(
+    st.integers(min_value=0, max_value=7), amounts, max_size=4))
+def test_counter_total_equals_sum_of_children(per_label):
+    c = Counter("test_total")
+    for node, incs in per_label.items():
+        for a in incs:
+            c.inc(a, node=node)
+    expect = sum(sum(incs) for incs in per_label.values())
+    assert c.total == pytest.approx(expect)
+    by_node = c.by_label("node")
+    for node, incs in per_label.items():
+        if incs:
+            assert by_node.get(node, 0.0) == pytest.approx(sum(incs))
+
+
+# ---------------------------------------------------------------------------
+# histograms
+# ---------------------------------------------------------------------------
+
+samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=100)
+
+
+@given(samples=samples, q=st.floats(min_value=0.0, max_value=1.0))
+def test_histogram_quantile_bounded_by_min_max(samples, q):
+    h = Histogram("test_hist")
+    for s in samples:
+        h.observe(s)
+    value = h.quantile(q)
+    assert h.min() <= value <= h.max()
+    assert h.quantile(0.0) == pytest.approx(h.min())
+    assert h.quantile(1.0) == pytest.approx(h.max())
+
+
+@given(samples=samples)
+def test_histogram_moments_consistent(samples):
+    h = Histogram("test_hist")
+    for s in samples:
+        h.observe(s)
+    assert h.count() == len(samples)
+    assert h.sum() == pytest.approx(sum(samples))
+    # fp summation can put the mean a few ulps outside [min, max]
+    slack = 1e-9 * max(1.0, abs(h.min()), abs(h.max()))
+    assert h.min() - slack <= h.mean() <= h.max() + slack
+
+
+@given(q=st.one_of(st.floats(max_value=-1e-9, allow_nan=False),
+                   st.floats(min_value=1.0 + 1e-9, allow_nan=False)))
+def test_histogram_quantile_domain(q):
+    h = Histogram("test_hist")
+    h.observe(1.0)
+    with pytest.raises(ValueError):
+        h.quantile(q)
+
+
+def test_empty_histogram_quantile_is_none():
+    assert Histogram("test_hist").quantile(0.5) is None
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+def test_registry_get_or_create_and_type_conflicts():
+    reg = MetricsRegistry()
+    c = reg.counter("a_total")
+    assert reg.counter("a_total") is c
+    with pytest.raises(TypeError):
+        reg.gauge("a_total")
+    g = reg.gauge("b")
+    assert isinstance(g, Gauge)
+    assert sorted(reg.names()) == ["a_total", "b"]
+    assert "a_total" in reg and len(reg) == 2
+    snap = reg.snapshot()
+    assert snap["a_total"]["kind"] == "counter"
+
+
+# ---------------------------------------------------------------------------
+# utilization on randomized workloads
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+       leaf_shift=st.integers(min_value=9, max_value=11))
+def test_device_utilization_in_unit_interval(seed, leaf_shift):
+    from repro.apps.base import run_cashmere
+    from repro.apps.matmul import MatmulApp
+    from repro.cluster.das4 import ClusterConfig
+
+    app = MatmulApp(n=4096, leaf_block=1 << leaf_shift)
+    cluster_config = ClusterConfig(
+        name="prop-het", nodes=[("gtx480",), ("k20", "xeon_phi")])
+    result, runtime, cluster = run_cashmere(
+        app, cluster_config, app.root_task(), seed=seed, obs=True,
+        return_runtime=True)
+    reg = result.stats.registry
+
+    util = reg.get("device_utilization")
+    assert util is not None
+    by_lane = util.by_label("lane")
+    assert by_lane, "expected at least one device utilization sample"
+    for lane, value in by_lane.items():
+        assert 0.0 <= value <= 1.0, f"{lane}: utilization {value}"
+
+    cpu = reg.get("node_cpu_utilization")
+    for node, value in cpu.by_label("node").items():
+        assert 0.0 <= value <= 1.0, f"node {node}: cpu utilization {value}"
+
+    ratio = reg.get("satin_steal_success_ratio")
+    for node, value in ratio.by_label("node").items():
+        assert 0.0 <= value <= 1.0
+
+    overlap = reg.get("device_overlap_fraction")
+    if overlap is not None:
+        for lane, value in overlap.by_label("lane").items():
+            assert 0.0 <= value <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Chrome-trace export on arbitrary event streams
+# ---------------------------------------------------------------------------
+
+interval_kind = st.sampled_from(["cpu", "kernel", "h2d", "d2h", "send"])
+point_kind = st.sampled_from(["spawn", "steal_attempt", "crash"])
+
+
+@st.composite
+def obs_events(draw):
+    seq = draw(st.integers(min_value=0, max_value=10**6))
+    node = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=7)))
+    if draw(st.booleans()):
+        kind = draw(interval_kind)
+        start = draw(st.floats(min_value=0.0, max_value=1e3,
+                               allow_nan=False, allow_infinity=False))
+        dur = draw(st.floats(min_value=0.0, max_value=10.0,
+                             allow_nan=False, allow_infinity=False))
+        lane = f"node{node or 0}/dev[{draw(st.integers(0, 2))}]/{kind}"
+        return ObsEvent(seq=seq, ts=start + dur, kind=kind, node=node,
+                        lane=lane, start=start, end=start + dur,
+                        fields={"label": kind})
+    kind = draw(point_kind)
+    ts = draw(st.floats(min_value=0.0, max_value=1e3,
+                        allow_nan=False, allow_infinity=False))
+    return ObsEvent(seq=seq, ts=ts, kind=kind, node=node, fields={})
+
+
+@given(events=st.lists(obs_events(), max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_chrome_trace_round_trips_and_is_monotone(events):
+    trace = chrome_trace(events)
+    blob = json.dumps(trace)
+    parsed = json.loads(blob)
+    assert parsed["traceEvents"] == trace["traceEvents"]
+
+    last_ts = {}
+    for ev in parsed["traceEvents"]:
+        if ev.get("ph") == "M":
+            continue
+        assert ev["ph"] in ("X", "i")
+        assert ev["ts"] >= 0.0
+        if ev["ph"] == "X":
+            assert ev["dur"] >= 0.0
+        track = (ev["pid"], ev["tid"])
+        assert ev["ts"] >= last_ts.get(track, float("-inf")), \
+            f"track {track}: ts went backwards"
+        last_ts[track] = ev["ts"]
+
+
+def test_chrome_trace_accepts_bus():
+    bus = EventBus(enabled=True)
+    bus.emit("kernel", node=1, lane="node1/gtx480[0]/kernel",
+             start=0.0, end=0.5, label="k", device="gtx480")
+    bus.emit("spawn", node=1, job_id=3)
+    trace = chrome_trace(bus)
+    names = [e["name"] for e in trace["traceEvents"] if e.get("ph") == "X"]
+    assert "k" in names

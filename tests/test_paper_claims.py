@@ -12,7 +12,6 @@ from repro.cluster import SimCluster, gtx480_cluster, satin_cpu_cluster
 from repro.core import CashmereConfig, CashmereRuntime
 from repro.devices.specs import HOST_CPU
 from repro.satin import RuntimeConfig, SatinRuntime
-from repro.sim import Environment
 
 from tests.test_cashmere_runtime import VecOp, make_library
 from tests.test_satin_runtime import TreeSum
