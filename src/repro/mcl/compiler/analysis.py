@@ -23,7 +23,7 @@ loops cannot be counted statically and fall back to
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from ..mcpl import ast
@@ -39,6 +39,7 @@ _BUILTIN_FLOPS = {
     "sqrt": 4, "rsqrt": 2, "fabs": 1, "floor": 1, "ceil": 1,
     "exp": 8, "log": 8, "sin": 8, "cos": 8, "tan": 12,
     "pow": 16, "min": 1, "max": 1, "clamp": 2, "int_cast": 0, "float_cast": 0,
+    "barrier": 0,
 }
 
 
@@ -52,9 +53,9 @@ class KernelAnalysis:
     divergence: float        #: 0 (straight-line) .. 1 (all work divergent)
     parallelism: float       #: total foreach iterations at the top level
     #: global traffic split per accessed array (cache modeling needs this)
-    global_bytes_by_array: Dict[str, float] = None
+    global_bytes_by_array: Dict[str, float] = field(default_factory=dict)
     #: in-memory size of each array parameter, from its tracked dims
-    array_footprints: Dict[str, float] = None
+    array_footprints: Dict[str, float] = field(default_factory=dict)
 
     @property
     def arithmetic_intensity(self) -> float:

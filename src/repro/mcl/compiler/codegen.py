@@ -99,6 +99,8 @@ class _OpenClWriter:
         if isinstance(expr, ast.Unary):
             return f"({expr.op}{self.render_expr(expr.operand)})"
         if isinstance(expr, ast.Call):
+            if expr.name == "barrier":
+                return "barrier(CLK_LOCAL_MEM_FENCE)"
             args = ", ".join(self.render_expr(a) for a in expr.args)
             name = {"int_cast": "(int)", "float_cast": "(float)",
                     "fabs": "fabs", "rsqrt": "rsqrt"}.get(expr.name, expr.name)

@@ -16,7 +16,10 @@ cost model — the :class:`CompiledKernel` Cashmere ships to each node.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .verify.findings import Finding
 
 from ..devices.perfmodel import KernelProfile
 from ..devices.specs import DeviceSpec, device_spec
@@ -81,6 +84,16 @@ class KernelVersion:
 
     def feedback(self, params: Optional[Dict[str, Any]] = None) -> List[FeedbackItem]:
         return get_feedback(self.info, params)
+
+    def verify(self) -> List["Finding"]:
+        """Run the static verifier over this version.
+
+        Inline ``// lint: ignore[...]`` comments in the registered source are
+        honoured, so the returned findings are exactly the *unsuppressed*
+        ones.  See :mod:`repro.mcl.verify`.
+        """
+        from .verify import verify_kernel
+        return verify_kernel(self.info, self.source)
 
 
 @dataclass

@@ -14,7 +14,7 @@ values (the raytracer's xorshift RNG relies on wrap-around).
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -84,6 +84,9 @@ _BUILTIN_IMPL = {
     "clamp": lambda x, lo, hi: max(lo, min(hi, x)),
     "int_cast": lambda x: int(x),
     "float_cast": lambda x: float(x),
+    # The interpreter runs foreach iterations sequentially, so group-level
+    # synchronization is a no-op here (it matters in generated OpenCL).
+    "barrier": lambda: 0,
 }
 assert set(_BUILTIN_IMPL) == set(BUILTIN_FUNCTIONS)
 
@@ -117,9 +120,10 @@ class _Frame:
 
 
 class _Interp:
-    def __init__(self, info: KernelInfo):
+    def __init__(self, info: KernelInfo, foreach_reverse: bool = False):
         self.info = info
         self.kernel = info.kernel
+        self.foreach_reverse = foreach_reverse
 
     # -- entry ---------------------------------------------------------------
     def run(self, args: Sequence[Any]) -> Any:
@@ -168,7 +172,10 @@ class _Interp:
             self._exec_assign(stmt, frame)
         elif isinstance(stmt, ast.Foreach):
             count = self._eval(stmt.count, frame)
-            for i in range(int(count)):
+            order: Iterable[int] = range(int(count))
+            if self.foreach_reverse:
+                order = reversed(range(int(count)))
+            for i in order:
                 inner = _Frame(frame)
                 inner.declare(stmt.var, i)
                 self._exec(stmt.body, inner)
@@ -331,7 +338,14 @@ def _truthy(value: Any) -> bool:
     return bool(value)
 
 
-def execute(kernel_or_info: Union[ast.Kernel, KernelInfo], *args: Any) -> Any:
-    """Run a kernel on the given arguments (arrays are modified in place)."""
+def execute(kernel_or_info: Union[ast.Kernel, KernelInfo], *args: Any,
+            foreach_reverse: bool = False) -> Any:
+    """Run a kernel on the given arguments (arrays are modified in place).
+
+    ``foreach_reverse`` runs every ``foreach`` loop highest-index first.
+    ``foreach`` declares its iterations order-independent, so *any* valid
+    kernel must produce identical results — the verifier's tests use the
+    reversed schedule as a cheap dynamic race probe.
+    """
     info = kernel_or_info if isinstance(kernel_or_info, KernelInfo) else analyze(kernel_or_info)
-    return _Interp(info).run(args)
+    return _Interp(info, foreach_reverse=foreach_reverse).run(args)

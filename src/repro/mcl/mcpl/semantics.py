@@ -30,11 +30,14 @@ class McplSemanticError(ValueError):
     """A kernel violates MCPL static semantics."""
 
 
-#: builtin math functions available in kernels (single-precision semantics)
+#: builtin math functions available in kernels (single-precision semantics);
+#: ``barrier()`` synchronizes the work-items of one group and is a no-op in
+#: the sequential reference interpreter.
 BUILTIN_FUNCTIONS: Dict[str, int] = {
     "sqrt": 1, "rsqrt": 1, "fabs": 1, "floor": 1, "ceil": 1,
     "exp": 1, "log": 1, "sin": 1, "cos": 1, "tan": 1,
     "pow": 2, "min": 2, "max": 2, "clamp": 3, "int_cast": 1, "float_cast": 1,
+    "barrier": 0,
 }
 
 

@@ -1,0 +1,89 @@
+"""MCPL static verifier: races, bounds, initialization, memory budgets.
+
+The verifier runs a small family of analyses over a checked kernel
+(:class:`~repro.mcl.mcpl.semantics.KernelInfo`) and reports *findings*
+with stable rule codes:
+
+========  ========  ==========================================================
+code      severity  meaning
+========  ========  ==========================================================
+MCL101    error     cross-iteration array race inside a ``foreach``
+MCL102    error     cross-iteration scalar race (write to an outer scalar)
+MCL201    error     subscript not provably within the declared dimension
+MCL301    error     read of a possibly-uninitialized local
+MCL302    warning   dead store
+MCL303    warning   unused kernel parameter
+MCL401    error     ``barrier()`` under divergent control flow
+MCL501    error     local/private memory exceeds the level's capacity
+========  ========  ==========================================================
+
+Intentional violations (SIMD reductions, data-dependent scatter) are
+acknowledged with inline ``// lint: ignore[CODE] justification`` comments in
+the kernel source; see :mod:`.findings`.  The rule catalogue is documented
+in ``docs/lint.md``.
+
+Entry points: :func:`verify_kernel` for one checked kernel,
+:func:`verify_source` for a source string with any number of kernel
+versions, and ``python -m repro lint`` on the command line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional
+
+from ..mcpl.parser import parse_kernels
+from ..mcpl.semantics import KernelInfo, analyze
+from .findings import (Finding, Rule, RULES, Severity, Suppressions,
+                       filter_suppressed, render_json, render_text,
+                       scan_suppressions)
+from .lints import check_bounds, check_dataflow, check_memory, check_params
+from .race import check_races
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "Severity",
+    "Suppressions",
+    "render_text",
+    "render_json",
+    "scan_suppressions",
+    "verify_kernel",
+    "verify_source",
+    "has_errors",
+]
+
+
+def verify_kernel(info: KernelInfo,
+                  source: Optional[str] = None) -> List[Finding]:
+    """All findings for one checked kernel, sorted and suppression-filtered.
+
+    When ``source`` is given, inline ``// lint: ignore[...]`` comments in it
+    are honoured; line numbers in the findings refer to this source string.
+    """
+    findings: List[Finding] = []
+    findings.extend(check_races(info))
+    findings.extend(check_bounds(info))
+    findings.extend(check_dataflow(info))
+    findings.extend(check_params(info))
+    findings.extend(check_memory(info))
+    tag = f"{info.kernel.name}@{info.kernel.level}"
+    findings = [replace(f, kernel=tag) if f.kernel is None else f
+                for f in findings]
+    if source is not None:
+        findings = filter_suppressed(findings, scan_suppressions(source))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def verify_source(source: str) -> List[Finding]:
+    """Verify every kernel version in an MCPL source string."""
+    findings: List[Finding] = []
+    for kernel in parse_kernels(source):
+        findings.extend(verify_kernel(analyze(kernel), source))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def has_errors(findings: List[Finding]) -> bool:
+    """Does the list contain at least one error-severity finding?"""
+    return any(f.severity is Severity.ERROR for f in findings)

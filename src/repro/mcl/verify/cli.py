@@ -1,0 +1,113 @@
+"""``python -m repro lint`` — run the MCPL static verifier.
+
+Verifies the MCPL kernel sources of the built-in applications (or of
+arbitrary ``.mcpl`` files) and prints the findings.  Exit status is 0 when
+no *unsuppressed error-severity* finding remains, 1 otherwise — the same
+gate CI applies with ``python -m repro lint --all``.
+
+Usage::
+
+    python -m repro lint --all                # every builtin app
+    python -m repro lint kmeans matmul        # selected apps
+    python -m repro lint --json --all         # machine-readable output
+    python -m repro lint path/to/kernels.mcpl # a source file
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from . import Finding, Severity, has_errors, render_json, render_text
+
+__all__ = ["app_sources", "lint_main"]
+
+
+def app_sources() -> Dict[str, List[str]]:
+    """The builtin apps' MCPL sources, keyed by app name.
+
+    Each app contributes its unoptimized source plus (when present) its
+    optimized source — exactly what :meth:`CashmereApplication.build_library`
+    registers.
+    """
+    from ...apps.kmeans import KMeansApp
+    from ...apps.matmul import MatmulApp
+    from ...apps.nbody import NBodyApp
+    from ...apps.raytracer import RaytracerApp
+    apps = {"matmul": MatmulApp, "kmeans": KMeansApp,
+            "nbody": NBodyApp, "raytracer": RaytracerApp}
+    out: Dict[str, List[str]] = {}
+    for name, cls in apps.items():
+        sources = [cls.KERNELS_UNOPTIMIZED]
+        if cls.KERNELS_OPTIMIZED:
+            sources.append(cls.KERNELS_OPTIMIZED)
+        out[name] = sources
+    return out
+
+
+def _lint_source(source: str, origin: str) -> Optional[List[Finding]]:
+    """Findings for one source, or ``None`` on a front-end diagnostic."""
+    from . import verify_source
+    from ..mcpl.lexer import McplSyntaxError
+    from ..mcpl.semantics import McplSemanticError
+    try:
+        return verify_source(source)
+    except (McplSyntaxError, McplSemanticError) as exc:
+        print(f"{origin}: parse error: {exc}", file=sys.stderr)
+        return None
+
+
+def lint_main(targets: List[str], all_apps: bool = False,
+              as_json: bool = False,
+              errors_only: bool = False) -> int:
+    """Entry point of the ``lint`` subcommand.  Returns the exit status."""
+    known = app_sources()
+    jobs: List[Tuple[str, str]] = []       # (origin label, source text)
+    if all_apps:
+        targets = sorted(known)
+    if not targets:
+        print("nothing to lint: give app names, file paths, or --all",
+              file=sys.stderr)
+        return 2
+    for target in targets:
+        if target in known:
+            for i, src in enumerate(known[target]):
+                kind = "unoptimized" if i == 0 else "optimized"
+                jobs.append((f"{target} ({kind})", src))
+        else:
+            path = pathlib.Path(target)
+            if not path.is_file():
+                print(f"unknown app or file: {target!r} "
+                      f"(apps: {', '.join(sorted(known))})", file=sys.stderr)
+                return 2
+            jobs.append((str(path), path.read_text()))
+
+    all_findings: List[Finding] = []
+    report: List[dict] = []
+    for origin, source in jobs:
+        findings = _lint_source(source, origin)
+        if findings is None:
+            return 2
+        if errors_only:
+            findings = [f for f in findings if f.severity is Severity.ERROR]
+        all_findings.extend(findings)
+        if as_json:
+            report.append({
+                "origin": origin,
+                "findings": json.loads(render_json(findings))["findings"]})
+        elif findings:
+            print(f"== {origin} ==")
+            print(render_text(findings))
+
+    failed = has_errors(all_findings)
+    if as_json:
+        print(json.dumps({"ok": not failed, "sources": report}, indent=2))
+    else:
+        n_err = sum(1 for f in all_findings if f.severity is Severity.ERROR)
+        n_warn = len(all_findings) - n_err
+        status = "FAILED" if failed else "OK"
+        print(f"lint {status}: {len(jobs)} source(s), "
+              f"{n_err} error(s), {n_warn} warning(s)")
+    return 1 if failed else 0

@@ -60,6 +60,11 @@ class RuntimeConfig:
     #: workers keep stealing after the root result is in (they are stopped
     #: by the runtime); bound their total count of backoff loops per run
     max_failed_steals: Optional[int] = None
+    #: run the MCPL static verifier (:mod:`repro.mcl.verify`) over every
+    #: registered kernel version before the run starts and refuse to run
+    #: when an unsuppressed error-severity finding remains.  Ignored by the
+    #: plain Satin runtime (no kernels); enforced by CashmereRuntime.
+    verify_kernels: bool = False
 
 
 class RunStats:

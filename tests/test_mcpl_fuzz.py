@@ -74,6 +74,37 @@ def test_single_character_mutations_are_diagnosed(pos, ch):
         pass
 
 
+@given(st.lists(st.sampled_from(_TOKENS), max_size=60))
+@settings(max_examples=200, deadline=None)
+def test_verifier_never_crashes_on_token_soup(tokens):
+    """Whatever the front-end accepts, the static verifier must survive."""
+    from repro.mcl.verify import verify_kernel
+
+    source = " ".join(tokens)
+    try:
+        kernel = parse_kernel(source)
+        info = analyze(kernel)
+    except FRONTEND_ERRORS:
+        return
+    for finding in verify_kernel(info, source):
+        assert finding.code        # findings are well-formed
+
+
+@given(st.integers(min_value=0, max_value=len(VALID_KERNEL) - 1),
+       st.characters(blacklist_categories=("Cs",)))
+@settings(max_examples=200, deadline=None)
+def test_verifier_never_crashes_on_mutated_kernels(pos, ch):
+    from repro.mcl.verify import verify_kernel
+
+    mutated = VALID_KERNEL[:pos] + ch + VALID_KERNEL[pos + 1:]
+    try:
+        kernel = parse_kernel(mutated)
+        info = analyze(kernel)
+    except FRONTEND_ERRORS:
+        return
+    verify_kernel(info, mutated)
+
+
 @given(st.integers(min_value=1, max_value=64))
 @settings(max_examples=30, deadline=None)
 def test_valid_kernel_pipeline_for_any_size(n):

@@ -1,0 +1,76 @@
+"""Tests for ``python -m repro lint``."""
+
+import json
+
+from repro.__main__ import main
+
+
+def test_lint_all_is_clean(capsys):
+    assert main(["lint", "--all"]) == 0
+    out = capsys.readouterr().out
+    assert "lint OK" in out
+    assert "0 error(s)" in out
+
+
+def test_lint_single_app(capsys):
+    assert main(["lint", "matmul"]) == 0
+    out = capsys.readouterr().out
+    assert "2 source(s)" in out
+
+
+def test_lint_json_output(capsys):
+    assert main(["lint", "--json", "kmeans"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    origins = [s["origin"] for s in payload["sources"]]
+    assert "kmeans (unoptimized)" in origins
+    assert "kmeans (optimized)" in origins
+
+
+def test_lint_file_with_error_fails(tmp_path, capsys):
+    bad = tmp_path / "bad.mcpl"
+    bad.write_text("""
+perfect void f(int n, float[n] a) {
+  foreach (int i in n threads) {
+    a[i + 1] = 0.0;
+  }
+}
+""")
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "MCL201" in out
+    assert "lint FAILED" in out
+
+
+def test_lint_file_with_warning_passes(tmp_path, capsys):
+    warn = tmp_path / "warn.mcpl"
+    warn.write_text("""
+perfect void f(int n, int unused, float[n] a) {
+  foreach (int i in n threads) {
+    a[i] = 0.0;
+  }
+}
+""")
+    assert main(["lint", str(warn)]) == 0
+    out = capsys.readouterr().out
+    assert "1 warning(s)" in out
+    # --errors-only hides it
+    assert main(["lint", "--errors-only", str(warn)]) == 0
+    assert "0 warning(s)" in capsys.readouterr().out
+
+
+def test_lint_unknown_target(capsys):
+    assert main(["lint", "nosuchapp"]) == 2
+    assert "unknown app or file" in capsys.readouterr().err
+
+
+def test_lint_without_targets(capsys):
+    assert main(["lint"]) == 2
+    assert "nothing to lint" in capsys.readouterr().err
+
+
+def test_lint_parse_error_exits_2(tmp_path, capsys):
+    broken = tmp_path / "broken.mcpl"
+    broken.write_text("perfect void f(int n { }")
+    assert main(["lint", str(broken)]) == 2
+    assert "parse error" in capsys.readouterr().err
