@@ -1,17 +1,36 @@
-"""Benchmark regenerating Figs. 7_8 (raytracer scalability + performance)."""
+"""Benchmark regenerating Figs. 7_8 (raytracer scalability + performance).
+
+CI's bench-smoke job sets ``REPRO_BENCH_NODE_COUNTS`` (e.g. ``1,2,4``) to
+run the same benchmark at reduced scale; the scaling assertion adapts to
+the largest node count actually run.
+"""
+
+import os
 
 from conftest import record
 
 from repro.experiments import run_experiment
 
 
+def _node_counts():
+    raw = os.environ.get("REPRO_BENCH_NODE_COUNTS")
+    if not raw:
+        return None  # full paper scale (1..16 nodes)
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
 def test_fig7_8(benchmark):
-    result = benchmark.pedantic(lambda: run_experiment("fig7_8"),
+    node_counts = _node_counts()
+    kwargs = {} if node_counts is None else {"node_counts": node_counts}
+    result = benchmark.pedantic(lambda: run_experiment("fig7_8", **kwargs),
                                 rounds=1, iterations=1)
     record(result)
     study = result.extra["study"]
-    # Strong scaling: every system speeds up from 1 to 16 nodes.
+    # Strong scaling: every system speeds up toward the largest node count.
+    # At the paper's 16 nodes the bar is >4x; at reduced CI scale it is
+    # half of ideal speedup for the node counts actually run.
     for system, points in study.items():
-        assert points[-1].speedup > 4.0, system
+        threshold = min(4.0, 0.5 * points[-1].nodes)
+        assert points[-1].speedup > threshold, system
     # Cashmere's absolute performance is far above Satin's (Sec. V-B).
     assert study["cashmere-opt"][-1].gflops > 2 * study["satin"][-1].gflops

@@ -11,13 +11,28 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import inspect
 import pathlib
 import sys
 import time
-from typing import List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
-from .experiments import list_experiments, run_experiment
+from .experiments import experiment_runner, list_experiments, run_experiment
 from .experiments.figures import svgs_for
+
+
+def _accepted_kwargs(fn: Callable[..., Any],
+                     kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    """The subset of ``kwargs`` the runner's signature accepts.
+
+    Experiments declare what they can be parameterized with (``seed``,
+    ``steal_policy``, ...); runners with ``**kwargs`` forward everything to
+    the scalability harness and accept the full set.
+    """
+    params = inspect.signature(fn).parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        return dict(kwargs)
+    return {k: v for k, v in kwargs.items() if k in params}
 
 
 def _save(result, out_dir: pathlib.Path) -> List[str]:
@@ -53,6 +68,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="directory to write the text/SVG artifacts to")
     run_p.add_argument("--seed", type=int, default=None,
                        help="override the run seed (where applicable)")
+    run_p.add_argument("--steal-policy", default=None,
+                       metavar="POLICY",
+                       help="cluster-level steal victim-selection policy "
+                            "(registry kind 'steal': random, cluster-aware, "
+                            "adaptive; where applicable)")
+    run_p.add_argument("--scheduler-policy", default=None,
+                       metavar="POLICY",
+                       help="intra-node device placement policy (registry "
+                            "kind 'device': makespan, static, round-robin; "
+                            "where applicable)")
 
     trace_p = sub.add_parser(
         "trace", help="run an app with the event bus on and export a "
@@ -101,19 +126,37 @@ def main(argv: Optional[List[str]] = None) -> int:
                           events_out=args.events,
                           summary=not args.no_summary)
 
+    # Resolve policy names through the unified registry up front so a typo
+    # fails fast with the known names, before any experiment runs.
+    from .core.policy import policy_class
+    requested: Dict[str, Any] = {}
+    if args.seed is not None:
+        requested["seed"] = args.seed
+    try:
+        if args.steal_policy is not None:
+            import repro.satin  # noqa: F401  (registers the steal policies)
+            policy_class("steal", args.steal_policy)
+            requested["steal_policy"] = args.steal_policy
+        if args.scheduler_policy is not None:
+            import repro.core.scheduler  # noqa: F401  (registers device
+            #                                            placement policies)
+            policy_class("device", args.scheduler_policy)
+            requested["scheduler_policy"] = args.scheduler_policy
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
     targets = list_experiments() if args.experiment == "all" \
         else [args.experiment]
     for experiment_id in targets:
-        kwargs = {}
-        if args.seed is not None and experiment_id not in (
-                "table1", "table2", "fig6"):
-            kwargs["seed"] = args.seed
-        start = time.perf_counter()
         try:
-            result = run_experiment(experiment_id, **kwargs)
+            runner = experiment_runner(experiment_id)
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
             return 2
+        kwargs = _accepted_kwargs(runner, requested)
+        start = time.perf_counter()
+        result = run_experiment(experiment_id, **kwargs)
         elapsed = time.perf_counter() - start
         print(result.render())
         print(f"({elapsed:.1f}s wall-clock)\n")

@@ -5,26 +5,69 @@ nodes carry heterogeneous many-core devices: cluster-level random work
 stealing (from Satin), MCL kernels selected/compiled per device, the
 min-makespan intra-node device scheduler, PCIe/compute overlap, automatic
 device memory management, and CPU fallback.
+
+This package initializer is *lazy* (PEP 562): ``repro.core.runtime``
+imports the Satin runtime while ``repro.satin.steal`` imports the unified
+policy registry (:mod:`repro.core.policy`), so an eager ``__init__`` would
+close an import cycle.  Attribute access loads the owning submodule on
+first use; ``from repro.core import Cashmere`` keeps working unchanged.
 """
 
-from .api import Cashmere, DeviceHandle, KernelHandle, KernelLaunch, MCL
-from .gantt import gantt_overview, gantt_zoomed, kernel_lanes, node_queues
-from .runtime import CashmereConfig, CashmereRuntime, KernelLaunchError
-from .scheduler import DeviceScheduler, SchedulingDecision
+from importlib import import_module
+from typing import TYPE_CHECKING, Any, List
 
-__all__ = [
-    "CashmereRuntime",
-    "CashmereConfig",
-    "KernelLaunchError",
-    "DeviceScheduler",
-    "SchedulingDecision",
-    "Cashmere",
-    "MCL",
-    "KernelHandle",
-    "KernelLaunch",
-    "DeviceHandle",
-    "gantt_zoomed",
-    "gantt_overview",
-    "node_queues",
-    "kernel_lanes",
-]
+#: public name -> owning submodule (lazily imported on attribute access)
+_EXPORTS = {
+    "Cashmere": ".api",
+    "DeviceHandle": ".api",
+    "KernelHandle": ".api",
+    "KernelLaunch": ".api",
+    "MCL": ".api",
+    "gantt_overview": ".gantt",
+    "gantt_zoomed": ".gantt",
+    "kernel_lanes": ".gantt",
+    "node_queues": ".gantt",
+    "CashmereConfig": ".runtime",
+    "CashmereRuntime": ".runtime",
+    "KernelLaunchError": ".runtime",
+    "SchedulingPolicy": ".policy",
+    "create_policy": ".policy",
+    "policy_names": ".policy",
+    "register_policy": ".policy",
+    "DevicePlacementPolicy": ".scheduler",
+    "DeviceScheduler": ".scheduler",
+    "SchedulingDecision": ".scheduler",
+}
+
+__all__ = list(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from .api import Cashmere, DeviceHandle, KernelHandle, KernelLaunch, MCL
+    from .gantt import gantt_overview, gantt_zoomed, kernel_lanes, node_queues
+    from .policy import (
+        SchedulingPolicy,
+        create_policy,
+        policy_names,
+        register_policy,
+    )
+    from .runtime import CashmereConfig, CashmereRuntime, KernelLaunchError
+    from .scheduler import (
+        DevicePlacementPolicy,
+        DeviceScheduler,
+        SchedulingDecision,
+    )
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    value = getattr(import_module(module, __name__), name)
+    globals()[name] = value  # cache: __getattr__ runs once per name
+    return value
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

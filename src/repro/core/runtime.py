@@ -26,6 +26,7 @@ from ..cluster.das4 import SimCluster
 from ..cluster.node import ComputeNode
 from ..devices.device import SimDevice
 from ..mcl.kernels import KernelLibrary
+from ..satin.comm import RuntimeInfo
 from ..satin.job import DivideConquerApp
 from ..satin.runtime import RunResult, RuntimeConfig, SatinRuntime
 from .scheduler import DeviceScheduler
@@ -49,17 +50,28 @@ class CashmereConfig(RuntimeConfig):
     concurrent jobs than Satin's 8 (Sec. V-B).  Four node-level workers keep
     the PCIe bus busy and give the intra-node scheduler a deep enough queue
     to feed a slower second device (the K20 + Xeon Phi nodes of Fig. 16).
+
+    The deliberate deviations from ``RuntimeConfig`` override its named
+    ``DEFAULT_*`` class constants, so the relationship between the two
+    configs is explicit rather than two literals that could silently drift.
     """
 
-    def __init__(self, workers_per_node: int = 4,
+    #: one leaf fills a device; 4 workers keep PCIe and both devices fed
+    DEFAULT_WORKERS_PER_NODE = 4
+    #: Cashmere runs are short (device leaves); a tight steal-backoff cap
+    #: keeps iteration starts responsive at negligible event cost.
+    DEFAULT_STEAL_BACKOFF_MAX_S = 0.02
+
+    def __init__(self, workers_per_node: Optional[int] = None,
                  kernel_compile_s: float = 0.0,
                  runtime_info_bytes: float = 4096.0,
                  scheduler_policy: str = "makespan",
                  out_of_core: bool = False,
                  **kwargs: Any):
-        # Cashmere runs are short (device leaves); a tight steal-backoff cap
-        # keeps iteration starts responsive at negligible event cost.
-        kwargs.setdefault("steal_backoff_max_s", 0.02)
+        if workers_per_node is None:
+            workers_per_node = self.DEFAULT_WORKERS_PER_NODE
+        kwargs.setdefault("steal_backoff_max_s",
+                          self.DEFAULT_STEAL_BACKOFF_MAX_S)
         super().__init__(workers_per_node=workers_per_node, **kwargs)
         #: simulated time to JIT one kernel for one device at init
         self.kernel_compile_s = kernel_compile_s
@@ -125,10 +137,8 @@ class CashmereRuntime(SatinRuntime):
 
     def _initialize(self) -> Generator:
         """Master broadcast + per-node kernel compilation."""
-        master = self.cluster.node(0)
-        yield from self.cluster.network.broadcast(
-            master.endpoint, "runtime-info", payload=None,
-            nbytes=self.config.runtime_info_bytes)
+        yield from self.comm.channel(0).broadcast(
+            RuntimeInfo(), nbytes=self.config.runtime_info_bytes)
         for node in self.cluster.nodes:
             per_node = self._node_kernels.setdefault(node.rank, {})
             for name in self.library.kernel_names():

@@ -11,6 +11,13 @@ makespan:
 which reproduces the paper's example — with the K20 queue at 3×100 ms and
 the GTX480 queue at 1×125 ms, a new job goes to the GTX480 because
 max(300, 250) < max(400, 125).
+
+Placement rules are pluggable :class:`DevicePlacementPolicy` objects
+registered in the unified policy registry (:mod:`repro.core.policy`) under
+kind ``"device"``, sharing one ``sched_decision`` event shape and one
+config/CLI surface with the cluster-level steal policies of
+:mod:`repro.satin.steal`.  :class:`DeviceScheduler` keeps the prediction
+model and the queue-reservation bookkeeping; the policy only selects.
 """
 
 from __future__ import annotations
@@ -20,8 +27,10 @@ from typing import Dict, List, Optional, Tuple
 
 from ..devices.device import SimDevice
 from ..obs.bus import EventBus
+from .policy import SchedulingPolicy, create_policy, policy_names, register_policy
 
-__all__ = ["DeviceScheduler", "SchedulingDecision"]
+__all__ = ["DeviceScheduler", "DevicePlacementPolicy", "SchedulingDecision",
+           "POLICIES"]
 
 #: placement reference time used before any measurement exists; only the
 #: *relative* speeds matter for the decision, but a plausible absolute value
@@ -38,8 +47,89 @@ class SchedulingDecision:
     used_measurement: bool
 
 
+class DevicePlacementPolicy(SchedulingPolicy):
+    """Pure device-selection rule; state beyond selection lives elsewhere.
+
+    ``select`` receives the node's devices and the per-lane ``(seconds,
+    used_measurement)`` predictions and returns a decision *without*
+    reserving queue time — the :class:`DeviceScheduler` owns the
+    ``pending_work_s`` reservation and the statistics.
+    """
+
+    kind = "device"
+    emits_decisions = True
+
+    def select(self, devices: List[SimDevice],
+               predictions: Dict[str, Tuple[float, bool]]
+               ) -> SchedulingDecision:
+        raise NotImplementedError
+
+
+@register_policy
+class MakespanPolicy(DevicePlacementPolicy):
+    """The paper's algorithm: measured times, min-makespan placement."""
+
+    name = "makespan"
+
+    def select(self, devices: List[SimDevice],
+               predictions: Dict[str, Tuple[float, bool]]
+               ) -> SchedulingDecision:
+        best: Optional[SchedulingDecision] = None
+        for dev in devices:
+            t_d, used_measurement = predictions[dev.lane]
+            makespan = max(
+                (other.pending_work_s + (t_d if other is dev else 0.0))
+                for other in devices)
+            if (best is None or makespan < best.makespan_s
+                    or (makespan == best.makespan_s
+                        and dev.spec.static_speed
+                        > best.device.spec.static_speed)):
+                best = SchedulingDecision(device=dev, predicted_s=t_d,
+                                          makespan_s=makespan,
+                                          used_measurement=used_measurement)
+        assert best is not None
+        return best
+
+
+@register_policy
+class StaticFastestPolicy(DevicePlacementPolicy):
+    """Always the highest static-speed device (Cashmere without measuring)."""
+
+    name = "static"
+
+    def select(self, devices: List[SimDevice],
+               predictions: Dict[str, Tuple[float, bool]]
+               ) -> SchedulingDecision:
+        dev = max(devices, key=lambda d: d.spec.static_speed)
+        t_d, used = predictions[dev.lane]
+        return SchedulingDecision(device=dev, predicted_s=t_d,
+                                  makespan_s=dev.pending_work_s + t_d,
+                                  used_measurement=used)
+
+
+@register_policy
+class RoundRobinPolicy(DevicePlacementPolicy):
+    """Speed-oblivious rotation (a naive baseline)."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counter = 0
+
+    def select(self, devices: List[SimDevice],
+               predictions: Dict[str, Tuple[float, bool]]
+               ) -> SchedulingDecision:
+        dev = devices[self._counter % len(devices)]
+        self._counter += 1
+        t_d, used = predictions[dev.lane]
+        return SchedulingDecision(device=dev, predicted_s=t_d,
+                                  makespan_s=dev.pending_work_s + t_d,
+                                  used_measurement=used)
+
+
 #: available placement policies (ablation bench compares them)
-POLICIES = ("makespan", "static", "round-robin")
+POLICIES = tuple(policy_names("device"))
 
 
 class DeviceScheduler:
@@ -47,7 +137,7 @@ class DeviceScheduler:
     (``pending_work_s``, ``measured_times``); this class is stateless apart
     from statistics and can be shared by all nodes of a runtime.
 
-    ``policy`` selects the placement rule:
+    ``policy`` selects the placement rule by registry name:
 
     * ``makespan`` — the paper's algorithm (measured times, min-makespan),
     * ``static`` — always the device with the highest static-speed rating
@@ -57,29 +147,26 @@ class DeviceScheduler:
 
     def __init__(self, policy: str = "makespan",
                  obs: Optional[EventBus] = None) -> None:
-        if policy not in POLICIES:
-            raise ValueError(f"unknown policy {policy!r}; known: {POLICIES}")
+        p = create_policy("device", policy)
+        assert isinstance(p, DevicePlacementPolicy)
+        self._policy: DevicePlacementPolicy = p
         self.policy = policy
         self.decisions = 0
         self.bootstrap_decisions = 0
-        self._rr_counter = 0
         #: optional event bus; every placement emits a ``sched_decision``
         #: event carrying the pre-decision completion snapshot so the
         #: invariant can be replay-checked from the log alone.
         self.obs = obs
+        self._policy.bind(obs)
 
-    def _emit_decision(self, devices: List[SimDevice], kernel_name: str,
+    def _emit_decision(self, kernel_name: str,
                        decision: SchedulingDecision,
                        completions: Dict[str, float],
                        pending: Dict[str, float]) -> None:
-        if self.obs is None or not self.obs.enabled:
-            return
-        self.obs.emit(
-            "sched_decision",
+        self._policy.emit_decision(
             node=decision.device.node_rank,
-            kernel=kernel_name,
-            policy=self.policy,
             chosen=decision.device.lane,
+            kernel=kernel_name,
             predicted_s=decision.predicted_s,
             makespan_s=decision.makespan_s,
             used_measurement=decision.used_measurement,
@@ -132,40 +219,13 @@ class DeviceScheduler:
                            for d in devices}
         else:
             pending = completions = {}
-        if self.policy != "makespan":
-            if self.policy == "static":
-                dev = max(devices, key=lambda d: d.spec.static_speed)
-            else:  # round-robin
-                dev = devices[self._rr_counter % len(devices)]
-                self._rr_counter += 1
-            t_d, used = predictions[dev.lane]
-            decision = SchedulingDecision(
-                device=dev, predicted_s=t_d,
-                makespan_s=dev.pending_work_s + t_d, used_measurement=used)
-            dev.pending_work_s += t_d
-            self.decisions += 1
-            self._emit_decision(devices, kernel_name, decision, completions,
-                                pending)
-            return decision
-        best: Optional[SchedulingDecision] = None
-        for dev in devices:
-            t_d, used_measurement = predictions[dev.lane]
-            makespan = max(
-                (other.pending_work_s + (t_d if other is dev else 0.0))
-                for other in devices)
-            if (best is None or makespan < best.makespan_s
-                    or (makespan == best.makespan_s
-                        and dev.spec.static_speed > best.device.spec.static_speed)):
-                best = SchedulingDecision(device=dev, predicted_s=t_d,
-                                          makespan_s=makespan,
-                                          used_measurement=used_measurement)
-        assert best is not None
-        best.device.pending_work_s += best.predicted_s
+        decision = self._policy.select(devices, predictions)
+        decision.device.pending_work_s += decision.predicted_s
         self.decisions += 1
-        if not best.used_measurement:
+        if self.policy == "makespan" and not decision.used_measurement:
             self.bootstrap_decisions += 1
-        self._emit_decision(devices, kernel_name, best, completions, pending)
-        return best
+        self._emit_decision(kernel_name, decision, completions, pending)
+        return decision
 
     def job_finished(self, decision: SchedulingDecision) -> None:
         """Release the queue reservation (the device recorded the measured

@@ -28,6 +28,7 @@ from .harness import (
     EXPERIMENTS,
     ExperimentResult,
     experiment,
+    experiment_runner,
     list_experiments,
     run_experiment,
 )
@@ -37,5 +38,6 @@ __all__ = [
     "EXPERIMENTS",
     "experiment",
     "run_experiment",
+    "experiment_runner",
     "list_experiments",
 ]

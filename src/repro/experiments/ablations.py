@@ -25,7 +25,7 @@ from .harness import ExperimentResult, experiment
 from .scalability import APP_BUILDERS
 
 __all__ = ["ablation_scheduler", "ablation_overlap", "ablation_steal",
-           "ablation_network"]
+           "ablation_steal_policy", "ablation_network"]
 
 
 def _kmeans_het_run(seed: int = 42, overlap: bool = True,
@@ -101,6 +101,44 @@ def ablation_steal(seed: int = 42) -> ExperimentResult:
         experiment_id="ablation_steal",
         title="Ablation: steal strategy (16x GTX480 k-means)",
         headers=["strategy", "GFLOPS", "steal attempts", "successes"],
+        rows=rows,
+    )
+
+
+@experiment("ablation_steal_policy")
+def ablation_steal_policy(seed: int = 42) -> ExperimentResult:
+    """Victim-selection policy ablation, 16-node k-means.
+
+    Compares the paper's uniform-random sweep against the two pluggable
+    alternatives of :mod:`repro.satin.steal` (cluster-aware locality
+    stealing and adaptive history-weighted selection) through the unified
+    policy registry — the end-to-end exercise of the steal-policy layer.
+    """
+    from ..satin.steal import steal_policy_names
+
+    rows = []
+    baseline = None
+    app_builder = APP_BUILDERS["k-means"]
+    for policy in steal_policy_names():
+        app = app_builder(False)
+        result = run_cashmere(app, gtx480_cluster(16), app.root_task(),
+                              optimized=True,
+                              config=CashmereConfig(seed=seed,
+                                                    steal_policy=policy))
+        gflops = result.stats.gflops()
+        if baseline is None:
+            baseline = gflops
+        attempts = result.stats.steal_attempts
+        successes = result.stats.steal_successes
+        rows.append([policy, round(gflops, 0),
+                     round(100 * gflops / baseline, 1),
+                     attempts, successes,
+                     round(100 * successes / attempts, 1) if attempts else 0.0])
+    return ExperimentResult(
+        experiment_id="ablation_steal_policy",
+        title="Ablation: steal victim-selection policy (16x GTX480 k-means)",
+        headers=["policy", "GFLOPS", "% of random", "steal attempts",
+                 "successes", "hit %"],
         rows=rows,
     )
 

@@ -13,7 +13,7 @@ from typing import Any, Callable, Dict, List, Optional
 from ..util.tables import format_table
 
 __all__ = ["ExperimentResult", "EXPERIMENTS", "experiment", "run_experiment",
-           "list_experiments"]
+           "experiment_runner", "list_experiments"]
 
 
 @dataclass
@@ -58,16 +58,25 @@ def experiment(experiment_id: str):
     return wrap
 
 
-def run_experiment(experiment_id: str, **kwargs: Any) -> ExperimentResult:
-    """Run a registered experiment by id (importing runners lazily)."""
+def experiment_runner(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Look up a registered runner by id (importing runners lazily).
+
+    The CLI uses the runner's signature to decide which of its generic
+    options (``--seed``, ``--steal-policy``, ...) a given experiment
+    accepts.
+    """
     from . import (  # noqa: F401
         ablations, fig6_kernels, gantt, heterogeneity, papertables, scalability)
     try:
-        fn = EXPERIMENTS[experiment_id]
+        return EXPERIMENTS[experiment_id]
     except KeyError:
         raise KeyError(f"unknown experiment {experiment_id!r}; known: "
                        f"{sorted(EXPERIMENTS)}") from None
-    return fn(**kwargs)
+
+
+def run_experiment(experiment_id: str, **kwargs: Any) -> ExperimentResult:
+    """Run a registered experiment by id (importing runners lazily)."""
+    return experiment_runner(experiment_id)(**kwargs)
 
 
 def list_experiments() -> List[str]:

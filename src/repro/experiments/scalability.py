@@ -70,17 +70,22 @@ class ScalabilityPoint:
     speedup: float = 1.0
 
 
-def _run_one(app_name: str, system: str, nodes: int, seed: int = 42):
+def _run_one(app_name: str, system: str, nodes: int, seed: int = 42,
+             steal_policy: str = "random",
+             scheduler_policy: str = "makespan"):
     builder = APP_BUILDERS[app_name]
     if system == "satin":
         app = builder(True)
         result = run_satin(app, satin_cpu_cluster(nodes), app.root_task(),
-                           config=RuntimeConfig(seed=seed))
+                           config=RuntimeConfig(seed=seed,
+                                                steal_policy=steal_policy))
     elif system in ("cashmere-unopt", "cashmere-opt"):
         app = builder(False)
         result = run_cashmere(app, gtx480_cluster(nodes), app.root_task(),
                               optimized=(system == "cashmere-opt"),
-                              config=CashmereConfig(seed=seed))
+                              config=CashmereConfig(
+                                  seed=seed, steal_policy=steal_policy,
+                                  scheduler_policy=scheduler_policy))
     else:
         raise ValueError(f"unknown system {system!r}; known: {SYSTEMS}")
     return result
@@ -89,7 +94,10 @@ def _run_one(app_name: str, system: str, nodes: int, seed: int = 42):
 def scalability_study(app_name: str,
                       node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
                       systems: Sequence[str] = SYSTEMS,
-                      seed: int = 42) -> Dict[str, List[ScalabilityPoint]]:
+                      seed: int = 42,
+                      steal_policy: str = "random",
+                      scheduler_policy: str = "makespan"
+                      ) -> Dict[str, List[ScalabilityPoint]]:
     """Run the full study for one application."""
     if app_name not in APP_BUILDERS:
         raise KeyError(f"unknown application {app_name!r}; known: "
@@ -99,7 +107,9 @@ def scalability_study(app_name: str,
         points: List[ScalabilityPoint] = []
         base: float = 0.0
         for nodes in node_counts:
-            result = _run_one(app_name, system, nodes, seed=seed)
+            result = _run_one(app_name, system, nodes, seed=seed,
+                              steal_policy=steal_policy,
+                              scheduler_policy=scheduler_policy)
             stats = result.stats
             if not points:
                 base = stats.makespan_s
@@ -115,9 +125,14 @@ def scalability_study(app_name: str,
 
 def _figure_pair(app_name: str, experiment_id: str, title: str,
                  node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
-                 systems: Sequence[str] = SYSTEMS) -> ExperimentResult:
+                 systems: Sequence[str] = SYSTEMS,
+                 seed: int = 42,
+                 steal_policy: str = "random",
+                 scheduler_policy: str = "makespan") -> ExperimentResult:
     study = scalability_study(app_name, node_counts=node_counts,
-                              systems=systems)
+                              systems=systems, seed=seed,
+                              steal_policy=steal_policy,
+                              scheduler_policy=scheduler_policy)
     rows = []
     for i, nodes in enumerate(node_counts):
         row: List = [nodes]

@@ -1,0 +1,318 @@
+"""Typed message protocol of the Satin runtime.
+
+The runtime's node-to-node protocol (Sec. II-A: steal requests/replies,
+stolen-result returns, shared-object updates, the master's runtime-info
+broadcast) used to be ad-hoc ``(tag, dict)`` payloads decoded inline in the
+runtime's message loop.  This module makes the protocol a first-class layer
+over :class:`repro.sim.network.Endpoint`:
+
+* **typed messages** — one frozen-shape dataclass per protocol message
+  (:class:`StealRequest`, :class:`StealReply`, :class:`ResultReturn`,
+  :class:`SharedObjectUpdate`, :class:`UserMessage`, :class:`RuntimeInfo`);
+  the wire tag is a class attribute, so the tag/shape pairing lives in
+  exactly one place,
+* **dispatch** — each node runs one :class:`CommChannel` whose dispatch
+  loop decodes incoming messages and routes them to handlers registered by
+  message *type* (unknown tags are dropped, matching the historical loop),
+* **request/reply** — :meth:`CommChannel.request` pairs a request with its
+  reply via a runtime-global ``req_id``, with optional *reply-timeout +
+  bounded-retry* semantics: a dead or partitioned victim makes the request
+  return ``None`` after the configured attempts instead of hanging the
+  thief, so call sites need no per-victim special-casing,
+* **failure notification** — :meth:`CommLayer.fail_pending_to` resolves
+  every in-flight request aimed at a crashed rank with ``None`` (the Ibis
+  membership-service path the paper's fault tolerance relies on); the
+  timeout path covers failures the membership service never reports.
+
+The layer deliberately knows nothing about jobs, deques or scheduling —
+that is :mod:`repro.satin.runtime` (orchestration), :mod:`repro.satin.steal`
+(victim selection) and :mod:`repro.satin.ft` (recovery).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    ClassVar,
+    Dict,
+    Generator,
+    Iterable,
+    Optional,
+    Tuple,
+    Type,
+)
+
+from ..sim.engine import Environment, Event, Interrupt
+from ..sim.network import Endpoint
+from .job import Job
+
+__all__ = [
+    "SatinMessage",
+    "StealRequest",
+    "StealReply",
+    "ResultReturn",
+    "SharedObjectUpdate",
+    "UserMessage",
+    "RuntimeInfo",
+    "CommChannel",
+    "CommLayer",
+]
+
+
+@dataclass
+class SatinMessage:
+    """Base class of all typed protocol messages.
+
+    ``WIRE_TAG`` is the tag charged on the simulated network; subclasses
+    keep the historical tag strings so traces stay comparable across
+    versions of the runtime.
+    """
+
+    WIRE_TAG: ClassVar[str] = ""
+
+
+@dataclass
+class StealRequest(SatinMessage):
+    """A thief asks a victim for work."""
+
+    WIRE_TAG: ClassVar[str] = "steal_request"
+    req_id: int
+    thief: int
+
+
+@dataclass
+class StealReply(SatinMessage):
+    """The victim's answer: a job, or ``None`` for an empty deque."""
+
+    WIRE_TAG: ClassVar[str] = "steal_reply"
+    req_id: int
+    job: Optional[Job]
+
+
+@dataclass
+class ResultReturn(SatinMessage):
+    """A stolen job's result travelling back to its origin node."""
+
+    WIRE_TAG: ClassVar[str] = "result"
+    job_id: int
+    result: Any
+
+
+@dataclass
+class SharedObjectUpdate(SatinMessage):
+    """An asynchronous shared-object write broadcast to all replicas."""
+
+    WIRE_TAG: ClassVar[str] = "shared_update"
+    name: str
+    method: Callable[[Any, Any], Any]
+    payload: Any
+
+
+@dataclass
+class UserMessage(SatinMessage):
+    """Application-level message (delivered to ``app.on_message``)."""
+
+    WIRE_TAG: ClassVar[str] = "user"
+    payload: Any
+
+
+@dataclass
+class RuntimeInfo(SatinMessage):
+    """The master's runtime-information broadcast at initialization
+    (Sec. III-B: "rank 0 becomes the master and broadcasts run-time
+    information")."""
+
+    WIRE_TAG: ClassVar[str] = "runtime-info"
+    payload: Any = None
+
+
+#: sentinel distinguishing "reply timed out" from a ``None`` reply value
+_TIMED_OUT = object()
+
+
+@dataclass
+class _PendingRequest:
+    """Bookkeeping for one in-flight request awaiting its reply."""
+
+    event: Event
+    dst: int
+    #: set when the reply (or a failure notification) resolved the event
+    resolved: bool = field(default=False)
+
+
+class CommLayer:
+    """Runtime-wide protocol state: channels, request ids, pending table.
+
+    One instance per runtime.  The request-id counter is global across all
+    channels so ids in the observability stream stay unique and
+    deterministic; the pending table is global so a crash can fail every
+    request aimed at the dead rank in one place.
+    """
+
+    def __init__(self, env: Environment,
+                 reply_timeout_s: Optional[float] = None,
+                 reply_retries: int = 1):
+        self.env = env
+        #: default reply-timeout (seconds) for :meth:`CommChannel.request`;
+        #: ``None`` waits for the reply or a failure notification
+        self.reply_timeout_s = reply_timeout_s
+        #: extra attempts after the first timeout (bounded retry)
+        self.reply_retries = reply_retries
+        self.channels: Dict[int, "CommChannel"] = {}
+        self._req_ids = itertools.count()
+        self._pending: Dict[int, _PendingRequest] = {}
+
+    # -- channels ------------------------------------------------------------
+    def attach(self, endpoint: Endpoint) -> "CommChannel":
+        """Create the channel wrapping one node's endpoint."""
+        if endpoint.rank in self.channels:
+            raise ValueError(f"rank {endpoint.rank} already has a channel")
+        channel = CommChannel(self, endpoint)
+        self.channels[endpoint.rank] = channel
+        return channel
+
+    def channel(self, rank: int) -> "CommChannel":
+        return self.channels[rank]
+
+    # -- request bookkeeping -------------------------------------------------
+    def open_request(self, dst: int) -> Tuple[int, _PendingRequest]:
+        req_id = next(self._req_ids)
+        pending = _PendingRequest(event=self.env.event(), dst=dst)
+        self._pending[req_id] = pending
+        return req_id, pending
+
+    def close_request(self, req_id: int) -> None:
+        self._pending.pop(req_id, None)
+
+    def resolve(self, req_id: int, value: Any) -> bool:
+        """Deliver a reply to a waiting request.
+
+        Returns ``False`` when nobody is waiting anymore (late reply after
+        a timeout/retry) so the caller can salvage the payload.
+        """
+        pending = self._pending.get(req_id)
+        if pending is None or pending.event.triggered:
+            return False
+        pending.resolved = True
+        pending.event.succeed(value)
+        return True
+
+    def fail_pending_to(self, dead_rank: int) -> int:
+        """Resolve every in-flight request to ``dead_rank`` with ``None``.
+
+        Called by the fault-tolerance layer when the membership service
+        reports a crash; returns the number of requests failed.
+        """
+        failed = 0
+        for req_id, pending in list(self._pending.items()):
+            if pending.dst == dead_rank and not pending.event.triggered:
+                pending.resolved = True
+                pending.event.succeed(None)
+                failed += 1
+        return failed
+
+    def pending_to(self, rank: int) -> int:
+        """Number of unresolved requests aimed at ``rank`` (introspection)."""
+        return sum(1 for p in self._pending.values()
+                   if p.dst == rank and not p.event.triggered)
+
+
+class CommChannel:
+    """One node's attachment to the typed protocol: send, request, dispatch."""
+
+    def __init__(self, layer: CommLayer, endpoint: Endpoint):
+        self.layer = layer
+        self.env = layer.env
+        self.endpoint = endpoint
+        self.rank = endpoint.rank
+        #: message type -> handler(msg); handlers run inside the dispatch
+        #: loop and must not block (spawn a process for slow work)
+        self._handlers: Dict[Type[SatinMessage], Callable[[SatinMessage], None]] = {}
+
+    # -- handler registration ------------------------------------------------
+    def on(self, msg_type: Type[SatinMessage],
+           handler: Callable[[Any], None]) -> None:
+        """Route incoming messages of ``msg_type`` to ``handler``."""
+        if not msg_type.WIRE_TAG:
+            raise ValueError(f"{msg_type.__name__} has no wire tag")
+        self._handlers[msg_type] = handler
+
+    # -- sending -------------------------------------------------------------
+    def send(self, dst: int, msg: SatinMessage,
+             nbytes: float = 0.0) -> Generator:
+        """Process: transmit one typed message (blocks this node's NIC)."""
+        yield from self.endpoint.send(dst, msg.WIRE_TAG, payload=msg,
+                                      nbytes=nbytes)
+
+    def broadcast(self, msg: SatinMessage, nbytes: float,
+                  ranks: Optional[Iterable[int]] = None) -> Generator:
+        """Process: send a typed message to every (other) endpoint."""
+        yield from self.endpoint.network.broadcast(
+            self.endpoint, msg.WIRE_TAG, payload=msg, nbytes=nbytes,
+            ranks=ranks)
+
+    def request(self, dst: int,
+                build: Callable[[int], SatinMessage],
+                nbytes: float,
+                timeout: Optional[float] = None,
+                retries: Optional[int] = None,
+                on_attempt: Optional[Callable[[int, int], None]] = None
+                ) -> Generator:
+        """Process: send a request and wait for its reply.
+
+        ``build(req_id)`` constructs the message for each attempt (each
+        attempt gets a fresh id, so a late reply to a timed-out attempt is
+        recognizably stale).  ``timeout`` / ``retries`` default to the
+        layer's configuration; with ``timeout=None`` the request waits
+        until the reply arrives or :meth:`CommLayer.fail_pending_to` fails
+        it.  ``on_attempt(req_id, attempt)`` runs before each send (the
+        runtime hooks statistics and ``steal_attempt`` events here).
+
+        Returns the reply value, or ``None`` after all attempts timed out.
+        """
+        layer = self.layer
+        if timeout is None:
+            timeout = layer.reply_timeout_s
+        if retries is None:
+            retries = layer.reply_retries
+        attempts = 1 + (retries if timeout is not None else 0)
+        for attempt in range(attempts):
+            req_id, pending = layer.open_request(dst)
+            if on_attempt is not None:
+                on_attempt(req_id, attempt)
+            yield from self.send(dst, build(req_id), nbytes=nbytes)
+            if timeout is None:
+                reply = yield pending.event
+                layer.close_request(req_id)
+                return reply
+            timer = self.env.timeout(timeout, value=_TIMED_OUT)
+            yield self.env.any_of([pending.event, timer])
+            layer.close_request(req_id)
+            if pending.event.triggered:
+                return pending.event.value
+        return None
+
+    # -- receiving -----------------------------------------------------------
+    def dispatch(self) -> Generator:
+        """Process: the node's message loop.
+
+        Decodes each delivered :class:`~repro.sim.network.Message` into its
+        typed payload and routes it to the registered handler.  Messages
+        whose type has no handler are dropped (e.g. the runtime-info
+        broadcast on runtimes that ignore it).  An :class:`Interrupt`
+        (node crash) ends the loop.
+        """
+        try:
+            while True:
+                wire = yield self.endpoint.recv()
+                msg = wire.payload
+                if not isinstance(msg, SatinMessage):
+                    continue  # below-protocol traffic (app broadcasts etc.)
+                handler = self._handlers.get(type(msg))
+                if handler is not None:
+                    handler(msg)
+        except Interrupt:
+            return

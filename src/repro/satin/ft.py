@@ -1,0 +1,108 @@
+"""Fault tolerance of the Satin runtime (Sec. II-A: orphan re-execution).
+
+Satin recovers from node crashes with *orphan re-execution*: when the Ibis
+membership service reports that a node died, every job that node had stolen
+(an *orphan* — its result will never come back) is re-queued at its origin
+node and simply executed again.  This module owns that mechanism end to
+end, extracted from the runtime monolith:
+
+* the **orphan table** — jobs currently stolen out of their origin node,
+  recorded when a steal is served and dropped when the result returns,
+* **crash injection + detection** — :meth:`FaultTolerance.crash_node`
+  marks the node dead, interrupts its simulation processes, and (modelling
+  the membership service broadcast) fails every in-flight request aimed at
+  it through :meth:`repro.satin.comm.CommLayer.fail_pending_to`,
+* **orphan re-queueing** — after the membership-notification latency,
+  orphans of the dead node are pushed back into their origins' deques.
+
+The ``notify_comm=False`` escape hatch models a *silent* failure the
+membership service never reports (a network partition): in-flight requests
+to the dead node are then only recovered by the comm layer's reply-timeout
++ bounded-retry path, which is exactly the scenario that feature exists
+for.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, Optional
+
+from .job import Job
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (cycle with runtime)
+    from .runtime import SatinRuntime
+
+__all__ = ["FaultTolerance"]
+
+
+class FaultTolerance:
+    """Crash detection and orphan re-execution for one runtime."""
+
+    def __init__(self, runtime: "SatinRuntime"):
+        self.runtime = runtime
+        self.env = runtime.env
+        #: jobs stolen *from* each origin, by job id (the orphan table)
+        self.stolen_out: Dict[int, Job] = {}
+
+    # -- orphan table --------------------------------------------------------
+    def record_stolen(self, job: Job) -> None:
+        """A steal was served: remember the job until its result returns."""
+        self.stolen_out[job.id] = job
+
+    def take_stolen(self, job_id: int) -> Optional[Job]:
+        """A result arrived: claim the orphan-table entry (or ``None`` when
+        the job was already re-queued as an orphan)."""
+        return self.stolen_out.pop(job_id, None)
+
+    # -- crash injection -----------------------------------------------------
+    def crash_node(self, rank: int, notify_comm: bool = True) -> None:
+        """Crash a node (fault injection).  The master cannot crash.
+
+        ``notify_comm=False`` models a silent failure: the membership
+        service never reports the crash, so in-flight requests to the dead
+        node are left to the comm layer's reply-timeout path.
+        """
+        if rank == 0:
+            raise ValueError("crashing the master is not supported")
+        rt = self.runtime
+        node = rt.cluster.node(rank)
+        if node.crashed:
+            return
+        node.crashed = True
+        if rt.obs.enabled:
+            rt.obs.emit("crash", node=rank)
+        for proc in rt._processes.get(rank, []):
+            proc.interrupt("node crashed")
+        if notify_comm:
+            # The membership service reports the crash: steal requests in
+            # flight to the dead node fail immediately.
+            rt.comm.fail_pending_to(rank)
+        # Orphans: jobs the dead node had stolen get re-queued at their
+        # origins after the membership service notices the crash.
+        self.env.process(self.requeue_orphans(rank))
+
+    def crash_after(self, rank: int, delay: float) -> None:
+        """Schedule a crash at ``delay`` seconds of virtual time from now."""
+
+        def crasher() -> Generator:
+            yield self.env.timeout(delay)
+            self.crash_node(rank)
+
+        self.env.process(crasher())
+
+    # -- recovery ------------------------------------------------------------
+    def requeue_orphans(self, dead_rank: int) -> Generator:
+        """Process: re-queue the dead node's orphans at their origins."""
+        rt = self.runtime
+        yield self.env.timeout(rt.config.membership_notify_s)
+        for job_id, job in list(self.stolen_out.items()):
+            if job.thief_rank == dead_rank and not job.done.triggered:
+                del self.stolen_out[job_id]
+                job.thief_rank = None
+                origin = rt.cluster.node(job.origin_rank)
+                if origin.crashed:
+                    continue
+                rt.stats.count_orphan_requeued(job.origin_rank)
+                if rt.obs.enabled:
+                    rt.obs.emit("orphan_requeue", node=job.origin_rank,
+                                job_id=job_id, dead_node=dead_rank)
+                rt.deques[job.origin_rank].push(job)

@@ -34,10 +34,18 @@ class WorkDeque:
         return len(self.items)
 
     def push(self, job: Job) -> None:
-        """Add a freshly spawned job (new end)."""
+        """Add a freshly spawned job (new end).
+
+        When a worker is blocked in :meth:`wait`, the job is handed to the
+        earliest waiter directly and never touches the queue.  The depth
+        observer fires on *both* paths (its contract is "after every
+        push"): a handoff samples the queue as it stands — the job
+        bypassed it — so idle-node pushes still appear in the depth
+        histogram instead of silently vanishing from the metrics.
+        """
         self.pushed += 1
         if self._waiters:
-            self._waiters.pop(0).succeed(job)
+            self._waiters.pop(0).succeed(job)  # direct handoff fast path
         else:
             self.items.append(job)
         if self.observer is not None:

@@ -6,15 +6,25 @@ This is the cluster-level engine of the reproduction (Sec. II-A):
   other nodes can steal them,
 * **sync** — the spawning computation blocks until its children are done,
   executing local work (and absorbing stolen children's results) meanwhile,
-* **random work-stealing** — idle workers send steal requests to uniformly
-  random victims; a stolen job's input crosses the network, it executes on
-  the thief (possibly spawning further work there), and the result crosses
-  back,
+* **random work-stealing** — idle workers send steal requests to victims
+  chosen by the configured :mod:`~repro.satin.steal` policy (uniformly
+  random by default); a stolen job's input crosses the network, it executes
+  on the thief (possibly spawning further work there), and the result
+  crosses back,
 * **latency hiding** — result transfers are fire-and-forget processes that
   overlap with computation,
 * **fault tolerance** — when a node crashes, jobs it had stolen are
   re-queued at their origin nodes (orphan re-execution), mimicking Satin's
   recovery via the Ibis membership service.
+
+The runtime is the *orchestration* layer of a stack of subsystems, each
+its own module:
+
+* :mod:`repro.satin.comm` — the typed message protocol (steal
+  request/reply pairing, reply timeouts, dispatch),
+* :mod:`repro.satin.steal` — pluggable victim-selection + backoff policies,
+* :mod:`repro.satin.ft` — crash detection and the orphan table,
+* :mod:`repro.satin.stats` — counters, projected over the metrics registry.
 
 Protocol handling consumes CPU cores.  Under plain Satin all 8 cores run
 leaf computations, so steal/result handling queues behind them — exactly the
@@ -26,34 +36,66 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, ClassVar, Dict, Generator, List, Optional
 
 from ..cluster.das4 import SimCluster
 from ..cluster.node import ComputeNode
 from ..obs.export import overlap_fraction
-from ..obs.metrics import MetricsRegistry
-from ..sim.engine import Environment, Event, Interrupt, Process
+from ..sim.engine import Environment, Interrupt, Process
+from .comm import (
+    CommLayer,
+    ResultReturn,
+    SharedObjectUpdate,
+    StealReply,
+    StealRequest,
+    UserMessage,
+)
+from .ft import FaultTolerance
 from .job import DivideConquerApp, Job, LeafContext
 from .queues import WorkDeque
+from .stats import RunResult, RunStats
+from .steal import StealPolicy, create_steal_policy
 
 __all__ = ["RuntimeConfig", "RunStats", "RunResult", "SatinRuntime"]
 
 
 @dataclass
 class RuntimeConfig:
-    """Tunable constants of the runtime (defaults model the Java/Ibis stack)."""
+    """Tunable constants of the runtime (defaults model the Java/Ibis stack).
 
-    workers_per_node: int = 8          #: Satin needs 8 jobs to fill a node (Sec. V-B)
+    The class-level ``DEFAULT_*`` constants are the single source of truth
+    for values that subclasses (``CashmereConfig``) deliberately override —
+    naming them keeps the two configs from silently drifting apart.
+    """
+
+    #: Satin needs 8 jobs to fill a node (Sec. V-B); Cashmere needs 4
+    #: (one per device queue) — each config names its own constant.
+    DEFAULT_WORKERS_PER_NODE: ClassVar[int] = 8
+    #: initial idle wait after a fully failed steal round
+    DEFAULT_STEAL_BACKOFF_S: ClassVar[float] = 100e-6
+    #: exponential backoff cap; Cashmere uses a tighter cap (its four
+    #: workers must refill device queues promptly)
+    DEFAULT_STEAL_BACKOFF_MAX_S: ClassVar[float] = 0.1
+
+    workers_per_node: int = DEFAULT_WORKERS_PER_NODE
     spawn_overhead_s: float = 20e-6    #: CPU cost of creating one job
     steal_handle_overhead_s: float = 15e-6   #: CPU cost of serving a steal request
     result_handle_overhead_s: float = 10e-6  #: CPU cost of absorbing a result
-    steal_backoff_s: float = 100e-6    #: initial idle wait after a failed steal
-    steal_backoff_max_s: float = 0.1   #: exponential backoff cap (keeps idle
-                                       #: workers event-cheap on long runs
-                                       #: without stalling iteration starts)
+    steal_backoff_s: float = DEFAULT_STEAL_BACKOFF_S
+    steal_backoff_max_s: float = DEFAULT_STEAL_BACKOFF_MAX_S
     control_message_bytes: float = 64.0
     membership_notify_s: float = 1e-3  #: crash-detection latency
     seed: int = 42
+    #: victim-selection policy (registry kind ``"steal"``): ``random`` is
+    #: the paper's uniform sweep; ``cluster-aware`` and ``adaptive`` are
+    #: the benchmarkable alternatives of :mod:`repro.satin.steal`
+    steal_policy: str = "random"
+    #: reply timeout for steal requests; ``None`` (default) relies purely
+    #: on the membership service to fail requests to dead nodes.  Set a
+    #: timeout to survive *silent* failures the membership service misses.
+    steal_reply_timeout_s: Optional[float] = None
+    #: extra attempts after the first reply timeout (bounded retry)
+    steal_reply_retries: int = 1
     #: a steal round polls every victim in random order (Satin's behavior);
     #: False limits each round to a single random victim (ablation)
     steal_sweep: bool = True
@@ -65,175 +107,6 @@ class RuntimeConfig:
     #: when an unsuppressed error-severity finding remains.  Ignored by the
     #: plain Satin runtime (no kernels); enforced by CashmereRuntime.
     verify_kernels: bool = False
-
-
-class RunStats:
-    """Counters collected during one run.
-
-    Since the unified observability layer (:mod:`repro.obs`) this is a
-    *view* over a :class:`~repro.obs.metrics.MetricsRegistry` — the
-    registry is the only bookkeeping path, and the historical field names
-    (``steal_attempts``, ``jobs_executed``, ...) are read-only projections
-    of its counters.  Access the registry directly for per-node/per-device
-    breakdowns, histograms and derived gauges.
-    """
-
-    def __init__(self, registry: Optional[MetricsRegistry] = None):
-        self.registry = registry if registry is not None else MetricsRegistry()
-        self.makespan_s: float = 0.0
-        r = self.registry
-        self._jobs = r.counter(
-            "satin_jobs_executed_total", "jobs executed, by node")
-        self._leaves = r.counter(
-            "satin_leaves_executed_total", "leaf tasks executed, by node")
-        self._leaf_flops = r.counter(
-            "satin_leaf_flops_total", "application flops performed by leaves")
-        self._steal_attempts = r.counter(
-            "satin_steal_attempts_total", "steal requests sent, by thief node")
-        self._steal_successes = r.counter(
-            "satin_steal_successes_total", "successful steals, by thief node")
-        self._results = r.counter(
-            "satin_results_returned_total", "stolen-job results returned")
-        self._orphans = r.counter(
-            "satin_orphans_requeued_total", "orphan jobs re-queued, by origin")
-        self._fallbacks = r.counter(
-            "cashmere_cpu_fallbacks_total", "leaves that fell back to the CPU")
-        self._ooc = r.counter(
-            "cashmere_out_of_core_launches_total", "out-of-core leaf launches")
-        self._spawns = r.counter(
-            "satin_jobs_spawned_total", "jobs spawned into work deques, by node")
-        self._queue_depth = r.histogram(
-            "satin_queue_depth", "work-deque depth observed at each push")
-        # hot-path bound children: label keys resolved once per (metric,
-        # rank), per-call cost is one dict get + one dict-slot update
-        # (keeps the disabled-observability overhead within the <5%
-        # budget of docs/observability.md)
-        self._jobs_c: Dict[int, Any] = {}
-        self._leaves_c: Dict[int, Any] = {}
-        self._spawns_c: Dict[int, Any] = {}
-        self._attempts_c: Dict[int, Any] = {}
-        self._successes_c: Dict[int, Any] = {}
-        self._orphans_c: Dict[int, Any] = {}
-        self._depth_c: Dict[int, Any] = {}
-        self._leaf_flops_inc = self._leaf_flops.child()
-        self._results_inc = self._results.child()
-        self._fallbacks_inc = self._fallbacks.child()
-        self._ooc_inc = self._ooc.child()
-
-    # -- mutation (used by the runtimes; one bookkeeping path) -------------
-    def count_job(self, rank: int) -> None:
-        fn = self._jobs_c.get(rank)
-        if fn is None:
-            fn = self._jobs_c[rank] = self._jobs.child(node=rank)
-        fn()
-
-    def count_leaf(self, rank: int, flops: float) -> None:
-        fn = self._leaves_c.get(rank)
-        if fn is None:
-            fn = self._leaves_c[rank] = self._leaves.child(node=rank)
-        fn()
-        self._leaf_flops_inc(flops)
-
-    def count_spawn(self, rank: int) -> None:
-        fn = self._spawns_c.get(rank)
-        if fn is None:
-            fn = self._spawns_c[rank] = self._spawns.child(node=rank)
-        fn()
-
-    def count_steal_attempt(self, rank: int) -> None:
-        fn = self._attempts_c.get(rank)
-        if fn is None:
-            fn = self._attempts_c[rank] = self._steal_attempts.child(node=rank)
-        fn()
-
-    def count_steal_success(self, rank: int) -> None:
-        fn = self._successes_c.get(rank)
-        if fn is None:
-            fn = self._successes_c[rank] = self._steal_successes.child(node=rank)
-        fn()
-
-    def count_result_returned(self) -> None:
-        self._results_inc()
-
-    def count_orphan_requeued(self, origin_rank: int) -> None:
-        fn = self._orphans_c.get(origin_rank)
-        if fn is None:
-            fn = self._orphans_c[origin_rank] = self._orphans.child(
-                node=origin_rank)
-        fn()
-
-    def count_cpu_fallback(self) -> None:
-        self._fallbacks_inc()
-
-    def count_out_of_core(self) -> None:
-        self._ooc_inc()
-
-    def observe_queue_depth(self, rank: int, depth: int) -> None:
-        fn = self._depth_c.get(rank)
-        if fn is None:
-            fn = self._depth_c[rank] = self._queue_depth.child(node=rank)
-        fn(depth)
-
-    # -- legacy field views -------------------------------------------------
-    @staticmethod
-    def _by_node(counter) -> Dict[int, int]:
-        return {rank: int(v) for rank, v in sorted(counter.by_label("node").items())}
-
-    @property
-    def jobs_executed(self) -> Dict[int, int]:
-        return self._by_node(self._jobs)
-
-    @property
-    def leaves_executed(self) -> Dict[int, int]:
-        return self._by_node(self._leaves)
-
-    @property
-    def steal_attempts(self) -> int:
-        return int(self._steal_attempts.total)
-
-    @property
-    def steal_successes(self) -> int:
-        return int(self._steal_successes.total)
-
-    @property
-    def results_returned(self) -> int:
-        return int(self._results.total)
-
-    @property
-    def orphans_requeued(self) -> int:
-        return int(self._orphans.total)
-
-    @property
-    def cpu_fallbacks(self) -> int:
-        return int(self._fallbacks.total)
-
-    @property
-    def out_of_core_launches(self) -> int:
-        return int(self._ooc.total)
-
-    @property
-    def total_leaf_flops(self) -> float:
-        return self._leaf_flops.total
-
-    @property
-    def total_jobs(self) -> int:
-        return int(self._jobs.total)
-
-    @property
-    def total_leaves(self) -> int:
-        return int(self._leaves.total)
-
-    def gflops(self) -> float:
-        """Application-level achieved GFLOPS (the figures' y-axis)."""
-        if self.makespan_s <= 0:
-            return 0.0
-        return self.total_leaf_flops / self.makespan_s / 1e9
-
-
-@dataclass
-class RunResult:
-    result: Any
-    stats: RunStats
 
 
 class SatinRuntime:
@@ -260,11 +133,17 @@ class SatinRuntime:
                 self.env,
                 observer=self.stats._queue_depth.child(node=node.rank))
             for node in cluster.nodes}
-        #: jobs stolen *from* each origin, by job id (fault tolerance)
-        self._stolen_out: Dict[int, Job] = {}
-        #: pending steal requests: req_id -> (wakeup event, victim rank)
-        self._steal_waits: Dict[int, Tuple[Event, int]] = {}
-        self._req_ids = itertools.count()
+        #: typed message-protocol layer (one channel per node)
+        self.comm = CommLayer(
+            self.env,
+            reply_timeout_s=self.config.steal_reply_timeout_s,
+            reply_retries=self.config.steal_reply_retries)
+        #: victim-selection + backoff policy (registry kind ``"steal"``)
+        self.steal_policy: StealPolicy = create_steal_policy(
+            self.config.steal_policy)
+        self.steal_policy.bind(self.obs)
+        #: fault tolerance: crash injection, orphan table, re-queueing
+        self.ft = FaultTolerance(self)
         #: per-runtime job ids keep the observability event stream
         #: deterministic across runs within one process
         self._job_ids = itertools.count()
@@ -275,6 +154,24 @@ class SatinRuntime:
         self._shutdown = False
         self._started = False
         self._finished = False
+        for node in cluster.nodes:
+            self._attach_channel(node)
+
+    def _attach_channel(self, node: ComputeNode) -> None:
+        """Wire one node's typed protocol handlers."""
+        ch = self.comm.attach(node.endpoint)
+        ch.on(StealRequest, lambda msg, node=node:
+              # Serve in a sub-process so a busy CPU delays the reply
+              # without blocking later messages' bookkeeping order.
+              self.env.process(self._serve_steal(node, msg)))
+        ch.on(StealReply, lambda msg, node=node:
+              self._on_steal_reply(node, msg))
+        ch.on(ResultReturn, lambda msg, node=node:
+              self.env.process(self._absorb_result(node, msg)))
+        ch.on(SharedObjectUpdate, lambda msg, node=node:
+              self._on_shared_update(node, msg))
+        ch.on(UserMessage, lambda msg, node=node:
+              self._on_user_message(node, msg))
 
     # ------------------------------------------------------------------
     # public API
@@ -351,41 +248,25 @@ class SatinRuntime:
     def shared_object(self, name: str) -> Any:
         return self._shared_objects[name]
 
-    def crash_node(self, rank: int) -> None:
-        """Crash a node (fault injection).  The master cannot crash."""
-        if rank == 0:
-            raise ValueError("crashing the master is not supported")
-        node = self.cluster.node(rank)
-        if node.crashed:
-            return
-        node.crashed = True
-        if self.obs.enabled:
-            self.obs.emit("crash", node=rank)
-        for proc in self._processes.get(rank, []):
-            proc.interrupt("node crashed")
-        # Steal requests in flight to the dead node fail.
-        for req_id, (ev, victim) in list(self._steal_waits.items()):
-            if victim == rank and not ev.triggered:
-                ev.succeed(None)
-        # Orphans: jobs the dead node had stolen get re-queued at their
-        # origins after the membership service notices the crash.
-        self.env.process(self._requeue_orphans(rank))
+    def crash_node(self, rank: int, notify_comm: bool = True) -> None:
+        """Crash a node (fault injection; delegates to the FT layer).
+
+        ``notify_comm=False`` models a silent failure the membership
+        service never reports — recovery then relies on the comm layer's
+        reply-timeout path (``steal_reply_timeout_s``)."""
+        self.ft.crash_node(rank, notify_comm=notify_comm)
 
     def crash_after(self, rank: int, delay: float) -> None:
         """Schedule a crash at ``delay`` seconds of virtual time from now."""
-
-        def crasher():
-            yield self.env.timeout(delay)
-            self.crash_node(rank)
-
-        self.env.process(crasher())
+        self.ft.crash_after(rank, delay)
 
     # ------------------------------------------------------------------
     # node processes
     # ------------------------------------------------------------------
     def _start_nodes(self) -> None:
         for node in self.cluster.nodes:
-            procs = [self.env.process(self._message_handler(node))]
+            procs = [self.env.process(
+                self.comm.channel(node.rank).dispatch())]
             for w in range(self.config.workers_per_node):
                 procs.append(self.env.process(self._worker(node, w)))
             self._processes[node.rank] = procs
@@ -432,14 +313,16 @@ class SatinRuntime:
             yield proc
 
     def _worker(self, node: ComputeNode, index: int) -> Generator:
-        """One worker: pop local work, else steal from a random victim.
+        """One worker: pop local work, else steal from a policy-chosen victim.
 
-        Failed steals back off exponentially (capped) and the idle wait is
-        interrupted as soon as local work appears, so idle workers stay
-        cheap in simulation events even across hours of virtual time.
+        Failed steals back off (schedule owned by the steal policy; capped
+        exponential by default) and the idle wait is interrupted as soon as
+        local work appears, so idle workers stay cheap in simulation events
+        even across hours of virtual time.
         """
+        policy = self.steal_policy
         failed = 0
-        backoff = self.config.steal_backoff_s
+        backoff = policy.initial_backoff(self.config)
         deque = self.deques[node.rank]
         try:
             while not self._shutdown:
@@ -448,7 +331,7 @@ class SatinRuntime:
                     job = yield from self._try_steal(node)
                 if job is not None:
                     failed = 0
-                    backoff = self.config.steal_backoff_s
+                    backoff = policy.initial_backoff(self.config)
                     yield from self._execute_job(node, job)
                     continue
                 failed += 1
@@ -463,108 +346,116 @@ class SatinRuntime:
                 timer = self.env.timeout(backoff)
                 yield self.env.any_of([wait_ev, timer])
                 if wait_ev.triggered:
-                    backoff = self.config.steal_backoff_s
+                    backoff = policy.initial_backoff(self.config)
                     yield from self._execute_job(node, wait_ev.value)
                 else:
                     deque.cancel_wait(wait_ev)
-                    backoff = min(backoff * 2.0, self.config.steal_backoff_max_s)
+                    backoff = policy.next_backoff(backoff, self.config)
         except Interrupt:
             return  # node crashed
 
-    def _message_handler(self, node: ComputeNode) -> Generator:
-        try:
-            while not self._shutdown:
-                msg = yield node.endpoint.recv()
-                if msg.tag == "steal_request":
-                    # Serve in a sub-process so a busy CPU delays the reply
-                    # without blocking later messages' bookkeeping order.
-                    self.env.process(self._serve_steal(node, msg.payload))
-                elif msg.tag == "steal_reply":
-                    entry = self._steal_waits.get(msg.payload["req_id"])
-                    if entry is not None and not entry[0].triggered:
-                        entry[0].succeed(msg.payload["job"])
-                elif msg.tag == "result":
-                    self.env.process(self._absorb_result(node, msg.payload))
-                elif msg.tag == "shared_update":
-                    obj = self._shared_objects.get(msg.payload["name"])
-                    if obj is not None:
-                        obj.apply_update(node.rank, msg.payload)
-                elif msg.tag == "user":
-                    handler = getattr(self.app, "on_message", None)
-                    if handler is not None:
-                        handler(node, msg.payload)
-        except Interrupt:
-            return
-
-    def _serve_steal(self, node: ComputeNode, payload: Dict[str, Any]) -> Generator:
+    # ------------------------------------------------------------------
+    # protocol handlers (registered on the node's CommChannel)
+    # ------------------------------------------------------------------
+    def _serve_steal(self, node: ComputeNode, msg: StealRequest) -> Generator:
         yield from node.cpu_delay(self.config.steal_handle_overhead_s,
                                   label="steal-serve")
         job = self.deques[node.rank].steal()
         nbytes = self.config.control_message_bytes
         if job is not None:
-            job.thief_rank = payload["thief"]
-            self._stolen_out[job.id] = job
+            job.thief_rank = msg.thief
+            self.ft.record_stolen(job)
             nbytes += self.app.task_bytes(job.task)
         if self.obs.enabled:
             self.obs.emit("steal", node=node.rank,
                           lane=f"node{node.rank}/steal",
                           start=self.env.now, end=self.env.now,
-                          label="serve", thief=payload["thief"],
+                          label="serve", thief=msg.thief,
                           hit=job is not None)
-        yield from node.endpoint.send(
-            payload["thief"], "steal_reply",
-            payload={"req_id": payload["req_id"], "job": job},
-            nbytes=nbytes)
+        yield from self.comm.channel(node.rank).send(
+            msg.thief, StealReply(req_id=msg.req_id, job=job), nbytes=nbytes)
 
-    def _absorb_result(self, node: ComputeNode, payload: Dict[str, Any]) -> Generator:
+    def _on_steal_reply(self, node: ComputeNode, msg: StealReply) -> None:
+        if self.comm.resolve(msg.req_id, msg.job):
+            return
+        if msg.job is None:
+            return
+        # Late reply carrying a job: the request timed out (or was failed
+        # by the membership service) but the victim *did* hand the job
+        # over.  Salvage it into the thief's deque so it is not lost.
+        if self.obs.enabled:
+            self.obs.emit("steal_salvage", node=node.rank,
+                          req_id=msg.req_id, job_id=msg.job.id)
+        self.deques[node.rank].push(msg.job)
+
+    def _absorb_result(self, node: ComputeNode, msg: ResultReturn) -> Generator:
         yield from node.cpu_delay(self.config.result_handle_overhead_s,
                                   label="result-recv")
-        job = self._stolen_out.pop(payload["job_id"], None)
+        job = self.ft.take_stolen(msg.job_id)
         if job is not None and not job.done.triggered:
             self.stats.count_result_returned()
             if self.obs.enabled:
                 self.obs.emit("result_recv", node=node.rank,
-                              job_id=payload["job_id"])
-            job.done.succeed(payload["result"])
+                              job_id=msg.job_id)
+            job.done.succeed(msg.result)
+
+    def _on_shared_update(self, node: ComputeNode,
+                          msg: SharedObjectUpdate) -> None:
+        obj = self._shared_objects.get(msg.name)
+        if obj is not None:
+            obj.apply_update(node.rank, msg)
+
+    def _on_user_message(self, node: ComputeNode, msg: UserMessage) -> None:
+        handler = getattr(self.app, "on_message", None)
+        if handler is not None:
+            handler(node, msg.payload)
 
     # ------------------------------------------------------------------
     # stealing
     # ------------------------------------------------------------------
     def _try_steal(self, node: ComputeNode) -> Generator:
-        """One steal *round*: poll victims in random order until a job is
+        """One steal *round*: poll victims in policy order until a job is
         found or every victim declined (Satin's random work-stealing retries
         immediately on failure — only a fully failed round backs off)."""
-        victims = [n for n in self.cluster.alive_nodes() if n.rank != node.rank]
-        if not victims:
+        candidates = [n.rank for n in self.cluster.alive_nodes()
+                      if n.rank != node.rank]
+        if not candidates:
             return None
-        self.rng.shuffle(victims)
+        order = self.steal_policy.victim_order(node.rank, candidates, self.rng)
         if not self.config.steal_sweep:
-            victims = victims[:1]
-        for victim in victims:
+            order = order[:1]
+        channel = self.comm.channel(node.rank)
+        rank = node.rank
+        for victim in order:
             if self._shutdown:
                 return None
-            req_id = next(self._req_ids)
-            wake = self.env.event()
-            self._steal_waits[req_id] = (wake, victim.rank)
-            self.stats.count_steal_attempt(node.rank)
-            if self.obs.enabled:
-                self.obs.emit("steal_attempt", node=node.rank,
-                              victim=victim.rank, req_id=req_id)
-            yield from node.endpoint.send(
-                victim.rank, "steal_request",
-                payload={"req_id": req_id, "thief": node.rank},
-                nbytes=self.config.control_message_bytes)
-            job = yield wake
-            self._steal_waits.pop(req_id, None)
-            if job is not None:
-                self.stats.count_steal_success(node.rank)
+            attempt_ids: List[int] = []
+
+            def on_attempt(req_id: int, attempt: int,
+                           victim: int = victim,
+                           attempt_ids: List[int] = attempt_ids) -> None:
+                attempt_ids.append(req_id)
+                self.stats.count_steal_attempt(rank)
                 if self.obs.enabled:
-                    self.obs.emit("steal_success", node=node.rank,
-                                  victim=victim.rank, req_id=req_id,
+                    self.obs.emit("steal_attempt", node=rank,
+                                  victim=victim, req_id=req_id)
+
+            job = yield from channel.request(
+                victim,
+                lambda req_id: StealRequest(req_id=req_id, thief=rank),
+                nbytes=self.config.control_message_bytes,
+                on_attempt=on_attempt)
+            hit = job is not None
+            self.steal_policy.observe(rank, victim, hit)
+            if hit:
+                self.stats.count_steal_success(rank)
+                if self.obs.enabled:
+                    self.obs.emit("steal_success", node=rank,
+                                  victim=victim, req_id=attempt_ids[-1],
                                   job_id=job.id)
                 return job
             # Check for local work that arrived while the request was out.
-            local = self.deques[node.rank].pop()
+            local = self.deques[rank].pop()
             if local is not None:
                 return local
         return None
@@ -582,9 +473,9 @@ class SatinRuntime:
         else:
             # Fire-and-forget transfer back: overlaps with the next job
             # (Satin's latency hiding).
-            self.env.process(node.endpoint.send(
-                job.origin_rank, "result",
-                payload={"job_id": job.id, "result": result},
+            self.env.process(self.comm.channel(node.rank).send(
+                job.origin_rank,
+                ResultReturn(job_id=job.id, result=result),
                 nbytes=self.config.control_message_bytes
                 + self.app.result_bytes(job.task)))
 
@@ -697,7 +588,8 @@ class SatinRuntime:
         sync (or an idle worker) picks it up.  Failed rounds back off so
         idle periods stay cheap in simulation events.
         """
-        backoff = self.config.steal_backoff_s
+        policy = self.steal_policy
+        backoff = policy.initial_backoff(self.config)
         try:
             while not self._shutdown and not node.crashed:
                 job = yield from self._try_steal(node)
@@ -707,7 +599,7 @@ class SatinRuntime:
                 if len(self.deques[node.rank]) > 0:
                     return  # local work appeared; no need to keep stealing
                 yield self.env.timeout(backoff)
-                backoff = min(backoff * 2.0, self.config.steal_backoff_max_s)
+                backoff = policy.next_backoff(backoff, self.config)
         except Interrupt:
             return
         finally:
@@ -718,21 +610,3 @@ class SatinRuntime:
         ctx = LeafContext(self, node)
         result = yield from self.app.leaf(task, ctx)
         return result
-
-    # ------------------------------------------------------------------
-    # fault tolerance
-    # ------------------------------------------------------------------
-    def _requeue_orphans(self, dead_rank: int) -> Generator:
-        yield self.env.timeout(self.config.membership_notify_s)
-        for job_id, job in list(self._stolen_out.items()):
-            if job.thief_rank == dead_rank and not job.done.triggered:
-                del self._stolen_out[job_id]
-                job.thief_rank = None
-                origin = self.cluster.node(job.origin_rank)
-                if origin.crashed:
-                    continue
-                self.stats.count_orphan_requeued(job.origin_rank)
-                if self.obs.enabled:
-                    self.obs.emit("orphan_requeue", node=job.origin_rank,
-                                  job_id=job_id, dead_node=dead_rank)
-                self.deques[job.origin_rank].push(job)

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Generator, List
 
+from .comm import SharedObjectUpdate
+
 __all__ = ["SharedObject"]
 
 
@@ -53,14 +55,14 @@ class SharedObject:
         tolerates — replicas apply this write when their copy arrives.
         """
         self._apply(src_rank, method, payload)
-        node = self.runtime.cluster.node(src_rank)
+        channel = self.runtime.comm.channel(src_rank)
         for dst in self.runtime.cluster.alive_nodes():
             if dst.rank == src_rank:
                 continue
-            yield from node.endpoint.send(
-                dst.rank, "shared_update",
-                payload={"name": self.name, "method": method,
-                         "payload": payload},
+            yield from channel.send(
+                dst.rank,
+                SharedObjectUpdate(name=self.name, method=method,
+                                   payload=payload),
                 nbytes=nbytes)
 
     def _apply(self, rank: int, method: Callable[[Any, Any], Any],
@@ -74,9 +76,9 @@ class SharedObject:
             else:
                 self._guards[rank].append((predicate, event))
 
-    def apply_update(self, rank: int, payload: Dict[str, Any]) -> None:
-        """Called by the runtime's message handler on update arrival."""
-        self._apply(rank, payload["method"], payload["payload"])
+    def apply_update(self, rank: int, update: SharedObjectUpdate) -> None:
+        """Called by the runtime's protocol dispatch on update arrival."""
+        self._apply(rank, update.method, update.payload)
 
     # -- guards -------------------------------------------------------------
     def guard(self, rank: int, predicate: Callable[[Any], bool]):

@@ -1,0 +1,11 @@
+"""Shared pytest setup: make sibling test modules importable.
+
+Some suites reuse the reference apps defined in other test modules (e.g.
+``TreeSum`` from ``test_satin_runtime``); putting the tests directory on
+``sys.path`` makes those imports independent of pytest's import mode.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,106 @@
+"""Tests for the extracted fault-tolerance layer (repro.satin.ft)."""
+
+import pytest
+
+from repro.cluster import SimCluster, satin_cpu_cluster
+from repro.satin import RuntimeConfig, SatinRuntime
+from repro.satin.ft import FaultTolerance
+from repro.satin.job import Job
+
+from test_satin_runtime import TreeSum, expected_sum
+
+
+def _runtime(nodes=3, **cfg):
+    cluster = SimCluster(satin_cpu_cluster(nodes))
+    runtime = SatinRuntime(cluster, TreeSum(leaf_size=16),
+                           RuntimeConfig(seed=3, **cfg))
+    return cluster, runtime
+
+
+# --------------------------------------------------------------------------
+# orphan table
+# --------------------------------------------------------------------------
+
+
+def test_orphan_table_record_and_take():
+    cluster, runtime = _runtime()
+    ft = runtime.ft
+    assert isinstance(ft, FaultTolerance)
+    job = Job(task=(0, 8), origin_rank=0, depth=1, manycore=False,
+              done=cluster.env.event(), id=5)
+    ft.record_stolen(job)
+    assert ft.take_stolen(5) is job
+    assert ft.take_stolen(5) is None  # claimed exactly once
+
+
+def test_crash_fails_in_flight_requests_via_comm():
+    """crash_node routes through CommLayer.fail_pending_to: nothing stays
+    pending toward the dead rank (the membership-service model)."""
+    cluster, runtime = _runtime()
+    env = cluster.env
+    log = {}
+
+    def probe():
+        # open a request to node 2, then crash it mid-flight
+        channel = runtime.comm.channel(0)
+        from repro.satin.comm import StealRequest
+        reply = yield from channel.request(
+            2, lambda rid: StealRequest(req_id=rid, thief=0), nbytes=64)
+        log["reply"] = reply
+        log["pending"] = runtime.comm.pending_to(2)
+
+    def crasher():
+        yield env.timeout(1e-4)
+        runtime.crash_node(2)
+
+    env.process(crasher())
+    env.run(until=env.process(probe()))
+    assert log == {"reply": None, "pending": 0}
+
+
+def test_silent_crash_recovered_by_reply_timeout():
+    """notify_comm=False models a failure the membership service misses: a
+    thief's in-flight request is only rescued by the comm layer's
+    reply-timeout + bounded-retry path, and the run still completes with
+    the correct answer (orphans are re-executed)."""
+    cluster = SimCluster(satin_cpu_cluster(4))
+    runtime = SatinRuntime(
+        cluster, TreeSum(leaf_size=16, flops_per_item=1e7),
+        RuntimeConfig(seed=3, steal_reply_timeout_s=0.01,
+                      steal_reply_retries=1))
+    runtime.ft.crash_after(2, delay=0.02)
+    # replace the normal crash with a silent one at the same instant
+    orig = runtime.ft.crash_node
+    runtime.ft.crash_node = lambda rank, notify_comm=True: orig(
+        rank, notify_comm=False)
+    result = runtime.run((0, 2048))
+    assert result.result == expected_sum(2048)
+    assert cluster.node(2).crashed
+    # nothing left pending toward the dead node: timeouts drained it
+    assert runtime.comm.pending_to(2) == 0
+
+
+def test_crash_node_delegates_preserve_public_behavior():
+    cluster = SimCluster(satin_cpu_cluster(3))
+    runtime = SatinRuntime(
+        cluster, TreeSum(leaf_size=16, flops_per_item=1e7),
+        RuntimeConfig(seed=3))
+    with pytest.raises(ValueError, match="master"):
+        runtime.crash_node(0)
+    runtime.ft.crash_after(1, delay=0.02)
+    result = runtime.run((0, 2048))
+    assert result.result == expected_sum(2048)
+    assert cluster.node(1).crashed
+
+
+def test_orphans_requeued_at_origin_after_notify_latency():
+    cluster = SimCluster(satin_cpu_cluster(4))
+    runtime = SatinRuntime(
+        cluster, TreeSum(leaf_size=16, flops_per_item=1e7),
+        RuntimeConfig(seed=3))
+    runtime.crash_after(2, delay=0.02)
+    result = runtime.run((0, 2048))
+    assert result.stats.orphans_requeued > 0
+    # the orphan table holds no entries stolen by the dead rank anymore
+    assert all(job.thief_rank != 2
+               for job in runtime.ft.stolen_out.values())
