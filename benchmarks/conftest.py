@@ -1,13 +1,25 @@
 """Shared helpers for the benchmark harness.
 
 Every benchmark regenerates one table or figure of the paper, prints the
-rows/series, and writes them to ``results/<experiment_id>.txt`` so the
-regenerated evaluation artifacts persist after the run.
+rows/series, and writes them to ``<results>/<experiment_id>.txt`` so the
+regenerated evaluation artifacts persist after the run.  The results
+directory is ``results/`` next to the repo root, overridable with the
+``REPRO_RESULTS_DIR`` environment variable (CI points it at the artifact
+staging directory).
 """
 
+import os
 import pathlib
 
-RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+def results_dir() -> pathlib.Path:
+    env = os.environ.get("REPRO_RESULTS_DIR")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+RESULTS_DIR = results_dir()
 
 
 def record(result) -> str:
@@ -21,10 +33,12 @@ def record(result) -> str:
         if key in result.extra:
             blocks.append(f"\n--- {key} ---\n{result.extra[key]}")
     text = "\n".join(blocks)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+    # re-read the env var at call time so a test can redirect one run
+    out_dir = results_dir()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / f"{result.experiment_id}.txt").write_text(text + "\n")
     for name, svg in svgs_for(result).items():
-        (RESULTS_DIR / f"{name}.svg").write_text(svg)
+        (out_dir / f"{name}.svg").write_text(svg)
     print()
     print(text)
     return rendered

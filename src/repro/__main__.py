@@ -5,51 +5,22 @@ Usage::
     python -m repro list                     # show experiment ids
     python -m repro run fig15                # run one experiment
     python -m repro run all -o results/      # run everything, save artifacts
+    python -m repro sweep fig7_8 --jobs 8    # parallel, cached, resumable
     python -m repro lint --all               # static-verify builtin kernels
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
+import os
 import pathlib
 import sys
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from .experiments import experiment_runner, list_experiments, run_experiment
-from .experiments.figures import svgs_for
-
-
-def _accepted_kwargs(fn: Callable[..., Any],
-                     kwargs: Dict[str, Any]) -> Dict[str, Any]:
-    """The subset of ``kwargs`` the runner's signature accepts.
-
-    Experiments declare what they can be parameterized with (``seed``,
-    ``steal_policy``, ...); runners with ``**kwargs`` forward everything to
-    the scalability harness and accept the full set.
-    """
-    params = inspect.signature(fn).parameters
-    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
-        return dict(kwargs)
-    return {k: v for k, v in kwargs.items() if k in params}
-
-
-def _save(result, out_dir: pathlib.Path) -> List[str]:
-    out_dir.mkdir(parents=True, exist_ok=True)
-    written = []
-    text = result.render()
-    for key in ("fig16", "fig17"):
-        if key in result.extra:
-            text += f"\n\n--- {key} ---\n{result.extra[key]}"
-    path = out_dir / f"{result.experiment_id}.txt"
-    path.write_text(text + "\n")
-    written.append(str(path))
-    for name, svg in svgs_for(result).items():
-        svg_path = out_dir / f"{name}.svg"
-        svg_path.write_text(svg)
-        written.append(str(svg_path))
-    return written
+from .experiments.artifacts import accepted_kwargs as _accepted_kwargs
+from .experiments.artifacts import save_artifacts as _save
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -78,6 +49,46 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="intra-node device placement policy (registry "
                             "kind 'device': makespan, static, round-robin; "
                             "where applicable)")
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run experiments through the parallel, cached, "
+                      "resumable sweep engine (see docs/sweep.md)")
+    sweep_p.add_argument("experiments", nargs="+",
+                         metavar="EXPERIMENT",
+                         help="experiment ids from 'list', or 'all'")
+    sweep_p.add_argument("-j", "--jobs", type=int,
+                         default=max(1, os.cpu_count() or 1),
+                         help="worker processes (default: all cores)")
+    sweep_p.add_argument("--cache-dir", type=pathlib.Path, default=None,
+                         help="result-cache directory (default: "
+                              "$REPRO_SWEEP_CACHE or ~/.cache/repro-sweep)")
+    sweep_p.add_argument("--no-cache", action="store_true",
+                         help="run fully stateless (no reads, no writes)")
+    sweep_p.add_argument("--force", action="store_true",
+                         help="ignore cached results, re-run every cell "
+                              "(fresh results are still written back)")
+    sweep_p.add_argument("--resume", action="store_true",
+                         help="resume a previous partial sweep from the "
+                              "cache (explicit spelling of the default)")
+    sweep_p.add_argument("--retries", type=int, default=1,
+                         help="extra attempts per failed cell (default: 1)")
+    sweep_p.add_argument("--bench-out", type=pathlib.Path, default=None,
+                         help="path for BENCH_sweep.json (default: "
+                              "<out-dir>/BENCH_sweep.json)")
+    sweep_p.add_argument("-o", "--out", type=pathlib.Path, default=None,
+                         help="directory to write the text/SVG artifacts to")
+    sweep_p.add_argument("--seed", type=int, default=None,
+                         help="override the run seed (where applicable)")
+    sweep_p.add_argument("--steal-policy", default=None, metavar="POLICY",
+                         help="cluster-level steal victim-selection policy "
+                              "(where applicable)")
+    sweep_p.add_argument("--scheduler-policy", default=None,
+                         metavar="POLICY",
+                         help="intra-node device placement policy "
+                              "(where applicable)")
+    sweep_p.add_argument("--node-counts", default=None, metavar="N,N,...",
+                         help="override scalability node counts, e.g. "
+                              "'1,2,4' for a reduced-scale smoke sweep")
 
     trace_p = sub.add_parser(
         "trace", help="run an app with the event bus on and export a "
@@ -145,6 +156,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
+
+    if args.command == "sweep":
+        from .sweep.cli import sweep_main
+        if args.node_counts is not None:
+            requested["node_counts"] = tuple(
+                int(n) for n in args.node_counts.split(","))
+        return sweep_main(
+            args.experiments, jobs=args.jobs, cache_dir=args.cache_dir,
+            no_cache=args.no_cache, force=args.force, resume=args.resume,
+            retries=args.retries, bench_out=args.bench_out, out=args.out,
+            runner_kwargs=requested)
 
     targets = list_experiments() if args.experiment == "all" \
         else [args.experiment]

@@ -10,45 +10,42 @@ contributes, using heterogeneous k-means (the paper's flagship scenario):
 * **steal strategy** — full random steal rounds vs one victim per backoff,
 * **network** — QDR InfiniBand vs gigabit Ethernet for the
   communication-bound matmul (the "skewed computation/communication ratio").
+
+Every ablation enumerates its variants as a sweep-cell grid executed
+through ``cell_runner`` (inline by default, pooled + cached under
+``python -m repro sweep``).
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Any
+from typing import List
 
-from ..apps.base import run_cashmere
-from ..cluster.das4 import gtx480_cluster, heterogeneous_kmeans
-from ..core.runtime import CashmereConfig
-from ..sim.network import GIGABIT_ETHERNET
+from ..sweep.spec import ClusterSpec, RunSpec, config_items, run_cells_inline
 from .harness import ExperimentResult, experiment
-from .scalability import APP_BUILDERS
 
 __all__ = ["ablation_scheduler", "ablation_overlap", "ablation_steal",
            "ablation_steal_policy", "ablation_network"]
 
-
-def _kmeans_het_run(seed: int = 42, overlap: bool = True,
-                    **config_kwargs: Any) -> float:
-    config = heterogeneous_kmeans()
-    config = dataclasses.replace(config, device_overlap=overlap)
-    app = APP_BUILDERS["k-means"](False)
-    result = run_cashmere(app, config, app.root_task(), optimized=True,
-                          config=CashmereConfig(seed=seed, **config_kwargs))
-    return result.stats.gflops()
+_HET_KMEANS = ClusterSpec(kind="het_kmeans")
 
 
 @experiment("ablation_scheduler")
-def ablation_scheduler(seed: int = 42) -> ExperimentResult:
+def ablation_scheduler(seed: int = 42, cell_runner=None) -> ExperimentResult:
     """Intra-node placement policy on heterogeneous k-means."""
+    policies = ("makespan", "static", "round-robin")
+    cells: List[RunSpec] = [
+        RunSpec(system="cashmere-opt", app="k-means", cluster=_HET_KMEANS,
+                seed=seed, config=config_items(scheduler_policy=policy),
+                label=f"ablation/scheduler/{policy}/seed{seed}")
+        for policy in policies]
+    results = (cell_runner or run_cells_inline)(cells)
     rows = []
     baseline = None
-    for policy in ("makespan", "static", "round-robin"):
-        gflops = _kmeans_het_run(seed=seed, scheduler_policy=policy)
+    for policy, cell in zip(policies, results):
         if baseline is None:
-            baseline = gflops
-        rows.append([policy, round(gflops, 0),
-                     round(100 * gflops / baseline, 1)])
+            baseline = cell.gflops
+        rows.append([policy, round(cell.gflops, 0),
+                     round(100 * cell.gflops / baseline, 1)])
     return ExperimentResult(
         experiment_id="ablation_scheduler",
         title="Ablation: intra-node device scheduler (het. k-means)",
@@ -58,22 +55,24 @@ def ablation_scheduler(seed: int = 42) -> ExperimentResult:
 
 
 @experiment("ablation_overlap")
-def ablation_overlap(seed: int = 42) -> ExperimentResult:
+def ablation_overlap(seed: int = 42, cell_runner=None) -> ExperimentResult:
     """PCIe transfer / kernel overlap on matmul (hundreds of MB per leaf).
 
     K-means leaves move only O(k) bytes, so overlap barely shows there;
     matmul's panel transfers are a significant fraction of its kernel time.
     """
-    rows = []
-    app_builder = APP_BUILDERS["matmul"]
-    for overlap in (True, False):
-        app = app_builder(False)
-        config = dataclasses.replace(gtx480_cluster(4),
-                                     device_overlap=overlap)
-        result = run_cashmere(app, config, app.root_task(), optimized=True,
-                              config=CashmereConfig(seed=seed))
-        rows.append(["overlapped" if overlap else "serialized",
-                     round(result.stats.gflops(), 0)])
+    variants = (True, False)
+    cells = [
+        RunSpec(system="cashmere-opt", app="matmul",
+                cluster=ClusterSpec(kind="gtx480", num_nodes=4,
+                                    device_overlap=overlap),
+                seed=seed,
+                label=f"ablation/overlap/{overlap}/seed{seed}")
+        for overlap in variants]
+    results = (cell_runner or run_cells_inline)(cells)
+    rows = [["overlapped" if overlap else "serialized",
+             round(cell.gflops, 0)]
+            for overlap, cell in zip(variants, results)]
     return ExperimentResult(
         experiment_id="ablation_overlap",
         title="Ablation: transfer/kernel overlap (4x GTX480 matmul)",
@@ -83,20 +82,20 @@ def ablation_overlap(seed: int = 42) -> ExperimentResult:
 
 
 @experiment("ablation_steal")
-def ablation_steal(seed: int = 42) -> ExperimentResult:
+def ablation_steal(seed: int = 42, cell_runner=None) -> ExperimentResult:
     """Steal rounds vs single random attempts, 16-node k-means."""
-    rows = []
-    app_builder = APP_BUILDERS["k-means"]
-    for sweep in (True, False):
-        app = app_builder(False)
-        result = run_cashmere(app, gtx480_cluster(16), app.root_task(),
-                              optimized=True,
-                              config=CashmereConfig(seed=seed,
-                                                    steal_sweep=sweep))
-        rows.append(["victim sweep" if sweep else "single victim",
-                     round(result.stats.gflops(), 0),
-                     result.stats.steal_attempts,
-                     result.stats.steal_successes])
+    variants = (True, False)
+    cells = [
+        RunSpec(system="cashmere-opt", app="k-means",
+                cluster=ClusterSpec(kind="gtx480", num_nodes=16), seed=seed,
+                config=config_items(steal_sweep=sweep),
+                label=f"ablation/steal-sweep/{sweep}/seed{seed}")
+        for sweep in variants]
+    results = (cell_runner or run_cells_inline)(cells)
+    rows = [["victim sweep" if sweep else "single victim",
+             round(cell.gflops, 0), cell.steal_attempts,
+             cell.steal_successes]
+            for sweep, cell in zip(variants, results)]
     return ExperimentResult(
         experiment_id="ablation_steal",
         title="Ablation: steal strategy (16x GTX480 k-means)",
@@ -106,7 +105,8 @@ def ablation_steal(seed: int = 42) -> ExperimentResult:
 
 
 @experiment("ablation_steal_policy")
-def ablation_steal_policy(seed: int = 42) -> ExperimentResult:
+def ablation_steal_policy(seed: int = 42,
+                          cell_runner=None) -> ExperimentResult:
     """Victim-selection policy ablation, 16-node k-means.
 
     Compares the paper's uniform-random sweep against the two pluggable
@@ -116,22 +116,23 @@ def ablation_steal_policy(seed: int = 42) -> ExperimentResult:
     """
     from ..satin.steal import steal_policy_names
 
+    policies = list(steal_policy_names())
+    cells = [
+        RunSpec(system="cashmere-opt", app="k-means",
+                cluster=ClusterSpec(kind="gtx480", num_nodes=16), seed=seed,
+                config=config_items(steal_policy=policy),
+                label=f"ablation/steal-policy/{policy}/seed{seed}")
+        for policy in policies]
+    results = (cell_runner or run_cells_inline)(cells)
     rows = []
     baseline = None
-    app_builder = APP_BUILDERS["k-means"]
-    for policy in steal_policy_names():
-        app = app_builder(False)
-        result = run_cashmere(app, gtx480_cluster(16), app.root_task(),
-                              optimized=True,
-                              config=CashmereConfig(seed=seed,
-                                                    steal_policy=policy))
-        gflops = result.stats.gflops()
+    for policy, cell in zip(policies, results):
         if baseline is None:
-            baseline = gflops
-        attempts = result.stats.steal_attempts
-        successes = result.stats.steal_successes
-        rows.append([policy, round(gflops, 0),
-                     round(100 * gflops / baseline, 1),
+            baseline = cell.gflops
+        attempts = cell.steal_attempts
+        successes = cell.steal_successes
+        rows.append([policy, round(cell.gflops, 0),
+                     round(100 * cell.gflops / baseline, 1),
                      attempts, successes,
                      round(100 * successes / attempts, 1) if attempts else 0.0])
     return ExperimentResult(
@@ -144,18 +145,20 @@ def ablation_steal_policy(seed: int = 42) -> ExperimentResult:
 
 
 @experiment("ablation_network")
-def ablation_network(seed: int = 42) -> ExperimentResult:
+def ablation_network(seed: int = 42, cell_runner=None) -> ExperimentResult:
     """Interconnect speed on the communication-bound matmul, 8 nodes."""
-    rows = []
-    app_builder = APP_BUILDERS["matmul"]
-    for label, network in (("QDR InfiniBand", None),
-                           ("gigabit Ethernet", GIGABIT_ETHERNET)):
-        app = app_builder(False)
-        config = gtx480_cluster(8) if network is None \
-            else gtx480_cluster(8, network=network)
-        result = run_cashmere(app, config, app.root_task(), optimized=True,
-                              config=CashmereConfig(seed=seed))
-        rows.append([label, round(result.stats.gflops(), 0)])
+    variants = (("QDR InfiniBand", "qdr-infiniband"),
+                ("gigabit Ethernet", "gigabit-ethernet"))
+    cells = [
+        RunSpec(system="cashmere-opt", app="matmul",
+                cluster=ClusterSpec(kind="gtx480", num_nodes=8,
+                                    network=network),
+                seed=seed,
+                label=f"ablation/network/{network}/seed{seed}")
+        for _, network in variants]
+    results = (cell_runner or run_cells_inline)(cells)
+    rows = [[label, round(cell.gflops, 0)]
+            for (label, _), cell in zip(variants, results)]
     return ExperimentResult(
         experiment_id="ablation_network",
         title="Ablation: interconnect (8x GTX480 matmul, optimized)",

@@ -1,0 +1,48 @@
+"""Shared CLI plumbing for experiment runners.
+
+Both entry points (``python -m repro run`` and ``python -m repro sweep``)
+need the same two things: filter generic CLI options down to what a
+runner's signature accepts, and write a result's text/SVG artifacts.
+"""
+
+from __future__ import annotations
+
+import inspect
+import pathlib
+from typing import Any, Callable, Dict, List
+
+__all__ = ["accepted_kwargs", "save_artifacts"]
+
+
+def accepted_kwargs(fn: Callable[..., Any],
+                    kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    """The subset of ``kwargs`` the runner's signature accepts.
+
+    Experiments declare what they can be parameterized with (``seed``,
+    ``steal_policy``, ``cell_runner``, ...); runners with ``**kwargs``
+    forward everything to the scalability harness and accept the full set.
+    """
+    params = inspect.signature(fn).parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        return dict(kwargs)
+    return {k: v for k, v in kwargs.items() if k in params}
+
+
+def save_artifacts(result, out_dir: pathlib.Path) -> List[str]:
+    """Write one experiment's text table and SVG figures; returns paths."""
+    from .figures import svgs_for
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    text = result.render()
+    for key in ("fig16", "fig17"):
+        if key in result.extra:
+            text += f"\n\n--- {key} ---\n{result.extra[key]}"
+    path = out_dir / f"{result.experiment_id}.txt"
+    path.write_text(text + "\n")
+    written.append(str(path))
+    for name, svg in svgs_for(result).items():
+        svg_path = out_dir / f"{name}.svg"
+        svg_path.write_text(svg)
+        written.append(str(svg_path))
+    return written

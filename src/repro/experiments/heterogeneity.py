@@ -9,24 +9,27 @@ Both use optimized kernels.
 Expected shape (Sec. V-C): heterogeneous efficiency comparable to the
 homogeneous (16x GTX480) runs, >90 % for raytracer, k-means and n-body;
 lower for the communication-bound matmul.
+
+Each application's bookkeeping is a small config grid — the heterogeneous
+run, one one-node reference run per node type, and the homogeneous
+16-node reference — enumerated as sweep cells and executed through the
+runner's ``cell_runner`` (inline by default; the pooled, cached engine
+under ``python -m repro sweep``, where the one-node references of Table
+III and Fig. 15 dedupe against each other via the result cache).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..apps.base import run_cashmere
 from ..cluster.das4 import (
-    ClusterConfig,
-    gtx480_cluster,
     heterogeneous_kmeans,
     heterogeneous_nbody,
     heterogeneous_small,
 )
-from ..core.runtime import CashmereConfig
+from ..sweep.spec import CellResult, ClusterSpec, RunSpec, run_cells_inline
 from .harness import ExperimentResult, experiment
-from .scalability import APP_BUILDERS
 
 __all__ = ["HeterogeneityResult", "heterogeneous_run", "table3", "fig15",
            "HET_CONFIGS"]
@@ -37,6 +40,14 @@ HET_CONFIGS = {
     "matmul": heterogeneous_small,
     "k-means": heterogeneous_kmeans,
     "n-body": heterogeneous_nbody,
+}
+
+#: application -> the :class:`ClusterSpec` kind naming the same configuration
+_HET_KINDS = {
+    "raytracer": "het_small",
+    "matmul": "het_small",
+    "k-means": "het_kmeans",
+    "n-body": "het_nbody",
 }
 
 
@@ -52,46 +63,71 @@ class HeterogeneityResult:
     homogeneous_efficiency: float
 
 
-def _one_node_gflops(app_name: str, devices: Tuple[str, ...],
-                     seed: int = 42) -> float:
-    """One-node run on a node carrying the given device set."""
-    app = APP_BUILDERS[app_name](False)
-    config = ClusterConfig(name=f"one-{'-'.join(devices)}",
-                           nodes=[tuple(devices)])
-    result = run_cashmere(app, config, app.root_task(), optimized=True,
-                          config=CashmereConfig(seed=seed))
-    return result.stats.gflops()
+@dataclass
+class _HetPlan:
+    """One app's cell grid plus the bookkeeping to interpret its results."""
+
+    app: str
+    config_name: str
+    device_counts: Dict[str, int]
+    #: node-device-tuple -> how many such nodes the het config has,
+    #: in the config's node order (the FP summation order of Sec. IV's
+    #: max-attainable figure)
+    node_types: Dict[Tuple[str, ...], int]
+    roles: List[object]
+    specs: List[RunSpec]
 
 
-def heterogeneous_run(app_name: str, seed: int = 42,
-                      homogeneous_nodes: int = 16) -> HeterogeneityResult:
-    """One heterogeneous execution with the efficiency bookkeeping of Sec. IV."""
+def _one_node_cell(app_name: str, devices: Tuple[str, ...],
+                   seed: int) -> RunSpec:
+    name = f"one-{'-'.join(devices)}"
+    return RunSpec(
+        system="cashmere-opt", app=app_name,
+        cluster=ClusterSpec(kind="nodes", nodes=(tuple(devices),), name=name),
+        seed=seed, label=f"{app_name}/{name}/seed{seed}")
+
+
+def _het_plan(app_name: str, seed: int, homogeneous_nodes: int) -> _HetPlan:
     config = HET_CONFIGS[app_name]()
-    app = APP_BUILDERS[app_name](False)
-    result = run_cashmere(app, config, app.root_task(), optimized=True,
-                          config=CashmereConfig(seed=seed))
-    het_gflops = result.stats.gflops()
-
-    # Maximum attainable: sum of one-node performance per node type.
     node_types: Dict[Tuple[str, ...], int] = {}
     for devices in config.nodes:
         node_types[devices] = node_types.get(devices, 0) + 1
+    roles: List[object] = ["het"]
+    specs: List[RunSpec] = [RunSpec(
+        system="cashmere-opt", app=app_name,
+        cluster=ClusterSpec(kind=_HET_KINDS[app_name]), seed=seed,
+        label=f"{app_name}/{config.name}/seed{seed}")]
+    for devices in node_types:
+        roles.append(("one", devices))
+        specs.append(_one_node_cell(app_name, devices, seed))
+    roles.append("homo")
+    specs.append(RunSpec(
+        system="cashmere-opt", app=app_name,
+        cluster=ClusterSpec(kind="gtx480", num_nodes=homogeneous_nodes),
+        seed=seed,
+        label=f"{app_name}/gtx480-{homogeneous_nodes}/seed{seed}"))
+    # Homogeneous efficiency needs the one-node GTX480 reference; every
+    # Table III configuration contains GTX480 nodes, so it is already in
+    # the grid — assert rather than silently double-run.
+    assert ("one", ("gtx480",)) in roles
+    return _HetPlan(app=app_name, config_name=config.name,
+                    device_counts=config.device_counts(),
+                    node_types=node_types, roles=roles, specs=specs)
+
+
+def _assemble(plan: _HetPlan, results: Sequence[CellResult],
+              homogeneous_nodes: int) -> HeterogeneityResult:
+    by_role = dict(zip(plan.roles, results))
+    het_gflops = by_role["het"].gflops
     max_attainable = 0.0
-    for devices, count in node_types.items():
-        max_attainable += count * _one_node_gflops(app_name, devices, seed)
-
-    # Homogeneous reference: 16x GTX480 (Sec. V-C compares to Sec. V-B).
-    homo_app = APP_BUILDERS[app_name](False)
-    homo = run_cashmere(homo_app, gtx480_cluster(homogeneous_nodes),
-                        homo_app.root_task(), optimized=True,
-                        config=CashmereConfig(seed=seed))
-    homo_gflops = homo.stats.gflops()
-    one_gtx480 = _one_node_gflops(app_name, ("gtx480",), seed)
-
+    for devices, count in plan.node_types.items():
+        max_attainable += count * by_role[("one", devices)].gflops
+    homo_gflops = by_role["homo"].gflops
+    one_gtx480 = by_role[("one", ("gtx480",))].gflops
     return HeterogeneityResult(
-        app=app_name,
-        config_name=config.name,
-        device_counts=config.device_counts(),
+        app=plan.app,
+        config_name=plan.config_name,
+        device_counts=plan.device_counts,
         het_gflops=het_gflops,
         max_attainable_gflops=max_attainable,
         het_efficiency=het_gflops / max_attainable if max_attainable else 0.0,
@@ -101,18 +137,43 @@ def heterogeneous_run(app_name: str, seed: int = 42,
     )
 
 
+def heterogeneous_run(app_name: str, seed: int = 42,
+                      homogeneous_nodes: int = 16,
+                      cell_runner: Optional[Callable[
+                          [Sequence[RunSpec]], List[CellResult]]] = None
+                      ) -> HeterogeneityResult:
+    """One heterogeneous execution with the efficiency bookkeeping of Sec. IV."""
+    plan = _het_plan(app_name, seed, homogeneous_nodes)
+    results = (cell_runner or run_cells_inline)(plan.specs)
+    return _assemble(plan, results, homogeneous_nodes)
+
+
+def _run_all(seed: int, cell_runner, homogeneous_nodes: int = 16
+             ) -> Dict[str, HeterogeneityResult]:
+    """All four applications' grids in one batch (one pool submission)."""
+    plans = [_het_plan(app_name, seed, homogeneous_nodes)
+             for app_name in HET_CONFIGS]
+    all_specs = [spec for plan in plans for spec in plan.specs]
+    all_results = (cell_runner or run_cells_inline)(all_specs)
+    out: Dict[str, HeterogeneityResult] = {}
+    cursor = 0
+    for plan in plans:
+        chunk = all_results[cursor:cursor + len(plan.specs)]
+        cursor += len(plan.specs)
+        out[plan.app] = _assemble(plan, chunk, homogeneous_nodes)
+    return out
+
+
 def _config_label(counts: Dict[str, int]) -> str:
     return ", ".join(f"{n} {dev}" for dev, n in sorted(counts.items()))
 
 
 @experiment("table3")
-def table3(seed: int = 42) -> ExperimentResult:
+def table3(seed: int = 42, cell_runner=None) -> ExperimentResult:
     """Table III: performance of the heterogeneous executions."""
+    results = _run_all(seed, cell_runner)
     rows = []
-    results = {}
-    for app_name in HET_CONFIGS:
-        r = heterogeneous_run(app_name, seed=seed)
-        results[app_name] = r
+    for app_name, r in results.items():
         rows.append([app_name, round(r.het_gflops, 0),
                      _config_label(r.device_counts)])
     return ExperimentResult(
@@ -125,13 +186,11 @@ def table3(seed: int = 42) -> ExperimentResult:
 
 
 @experiment("fig15")
-def fig15(seed: int = 42) -> ExperimentResult:
+def fig15(seed: int = 42, cell_runner=None) -> ExperimentResult:
     """Fig. 15: efficiency of heterogeneous vs homogeneous executions."""
+    results = _run_all(seed, cell_runner)
     rows = []
-    results = {}
-    for app_name in HET_CONFIGS:
-        r = heterogeneous_run(app_name, seed=seed)
-        results[app_name] = r
+    for app_name, r in results.items():
         rows.append([app_name,
                      round(100 * r.het_efficiency, 1),
                      round(100 * r.homogeneous_efficiency, 1)])

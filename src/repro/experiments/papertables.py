@@ -3,6 +3,10 @@
 Table I lists TOP500 supercomputers (Nov 2014) with heterogeneous many-core
 devices; Table II classifies the four evaluation applications.  Both are
 reproduced verbatim so the benchmark harness prints the same rows.
+
+These runners enumerate no simulation cells, so under ``python -m repro
+sweep`` they execute inline (the sweep CLI only injects a ``cell_runner``
+into runners whose signature accepts one).
 """
 
 from __future__ import annotations

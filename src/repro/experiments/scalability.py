@@ -15,20 +15,24 @@ All runs strong-scale the paper-size problem.  "Scalability" figures
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-from ..apps.base import run_cashmere, run_satin
 from ..apps.kmeans import KMeansApp
 from ..apps.matmul import MatmulApp
 from ..apps.nbody import NBodyApp
 from ..apps.raytracer import RaytracerApp
-from ..cluster.das4 import gtx480_cluster, satin_cpu_cluster
-from ..core.runtime import CashmereConfig
-from ..satin.runtime import RuntimeConfig
+from ..sweep.spec import (
+    CellResult,
+    ClusterSpec,
+    RunSpec,
+    config_items,
+    run_cells_inline,
+)
 from .harness import ExperimentResult, experiment
 
-__all__ = ["ScalabilityPoint", "scalability_study", "APP_BUILDERS",
-           "SYSTEMS", "fig7_8", "fig9_10", "fig11_12", "fig13_14"]
+__all__ = ["ScalabilityPoint", "scalability_study", "scalability_cells",
+           "APP_BUILDERS", "SYSTEMS", "fig7_8", "fig9_10", "fig11_12",
+           "fig13_14"]
 
 SYSTEMS = ("satin", "cashmere-unopt", "cashmere-opt")
 DEFAULT_NODE_COUNTS = (1, 2, 4, 8, 16)
@@ -70,25 +74,35 @@ class ScalabilityPoint:
     speedup: float = 1.0
 
 
-def _run_one(app_name: str, system: str, nodes: int, seed: int = 42,
-             steal_policy: str = "random",
-             scheduler_policy: str = "makespan"):
-    builder = APP_BUILDERS[app_name]
-    if system == "satin":
-        app = builder(True)
-        result = run_satin(app, satin_cpu_cluster(nodes), app.root_task(),
-                           config=RuntimeConfig(seed=seed,
-                                                steal_policy=steal_policy))
-    elif system in ("cashmere-unopt", "cashmere-opt"):
-        app = builder(False)
-        result = run_cashmere(app, gtx480_cluster(nodes), app.root_task(),
-                              optimized=(system == "cashmere-opt"),
-                              config=CashmereConfig(
-                                  seed=seed, steal_policy=steal_policy,
-                                  scheduler_policy=scheduler_policy))
-    else:
+def scalability_cell(app_name: str, system: str, nodes: int, seed: int = 42,
+                     steal_policy: str = "random",
+                     scheduler_policy: str = "makespan") -> RunSpec:
+    """The sweep cell for one (system, nodes) point of a study."""
+    if system not in SYSTEMS:
         raise ValueError(f"unknown system {system!r}; known: {SYSTEMS}")
-    return result
+    if system == "satin":
+        cluster = ClusterSpec(kind="satin_cpu", num_nodes=nodes)
+        config = config_items(steal_policy=steal_policy)
+    else:
+        cluster = ClusterSpec(kind="gtx480", num_nodes=nodes)
+        config = config_items(steal_policy=steal_policy,
+                              scheduler_policy=scheduler_policy)
+    return RunSpec(system=system, app=app_name, cluster=cluster, seed=seed,
+                   config=config,
+                   label=f"{app_name}/{system}/n{nodes}/seed{seed}")
+
+
+def scalability_cells(app_name: str,
+                      node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+                      systems: Sequence[str] = SYSTEMS,
+                      seed: int = 42,
+                      steal_policy: str = "random",
+                      scheduler_policy: str = "makespan") -> List[RunSpec]:
+    """The full config grid of one study, in (system, nodes) order."""
+    return [scalability_cell(app_name, system, nodes, seed=seed,
+                             steal_policy=steal_policy,
+                             scheduler_policy=scheduler_policy)
+            for system in systems for nodes in node_counts]
 
 
 def scalability_study(app_name: str,
@@ -96,28 +110,39 @@ def scalability_study(app_name: str,
                       systems: Sequence[str] = SYSTEMS,
                       seed: int = 42,
                       steal_policy: str = "random",
-                      scheduler_policy: str = "makespan"
+                      scheduler_policy: str = "makespan",
+                      cell_runner: Optional[Callable[
+                          [Sequence[RunSpec]], List[CellResult]]] = None
                       ) -> Dict[str, List[ScalabilityPoint]]:
-    """Run the full study for one application."""
+    """Run the full study for one application.
+
+    The study enumerates its grid as sweep cells and executes them through
+    ``cell_runner`` — inline and sequential by default, or the parallel
+    cached engine when ``python -m repro sweep`` injects a
+    :meth:`repro.sweep.engine.SweepSession.runner`.
+    """
     if app_name not in APP_BUILDERS:
         raise KeyError(f"unknown application {app_name!r}; known: "
                        f"{sorted(APP_BUILDERS)}")
+    cells = scalability_cells(app_name, node_counts=node_counts,
+                              systems=systems, seed=seed,
+                              steal_policy=steal_policy,
+                              scheduler_policy=scheduler_policy)
+    results = (cell_runner or run_cells_inline)(cells)
     out: Dict[str, List[ScalabilityPoint]] = {}
+    grid = iter(results)
     for system in systems:
         points: List[ScalabilityPoint] = []
         base: float = 0.0
         for nodes in node_counts:
-            result = _run_one(app_name, system, nodes, seed=seed,
-                              steal_policy=steal_policy,
-                              scheduler_policy=scheduler_policy)
-            stats = result.stats
+            cell = next(grid)
             if not points:
-                base = stats.makespan_s
+                base = cell.makespan_s
             points.append(ScalabilityPoint(
                 nodes=nodes,
-                makespan_s=stats.makespan_s,
-                gflops=stats.gflops(),
-                speedup=base / stats.makespan_s if stats.makespan_s > 0 else 0.0,
+                makespan_s=cell.makespan_s,
+                gflops=cell.gflops,
+                speedup=base / cell.makespan_s if cell.makespan_s > 0 else 0.0,
             ))
         out[system] = points
     return out
@@ -128,11 +153,13 @@ def _figure_pair(app_name: str, experiment_id: str, title: str,
                  systems: Sequence[str] = SYSTEMS,
                  seed: int = 42,
                  steal_policy: str = "random",
-                 scheduler_policy: str = "makespan") -> ExperimentResult:
+                 scheduler_policy: str = "makespan",
+                 cell_runner=None) -> ExperimentResult:
     study = scalability_study(app_name, node_counts=node_counts,
                               systems=systems, seed=seed,
                               steal_policy=steal_policy,
-                              scheduler_policy=scheduler_policy)
+                              scheduler_policy=scheduler_policy,
+                              cell_runner=cell_runner)
     rows = []
     for i, nodes in enumerate(node_counts):
         row: List = [nodes]

@@ -20,7 +20,7 @@ __all__ = ["Job", "DivideConquerApp", "LeafContext"]
 _job_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Job:
     """One spawned invocation of the application's spawnable function."""
 

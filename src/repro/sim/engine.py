@@ -57,7 +57,14 @@ class Event:
     Processes wait for events by yielding them.  An event is *triggered* with
     either a value (:meth:`succeed`) or an exception (:meth:`fail`); all
     registered callbacks then run at the event's scheduled time.
+
+    Events are the single hottest allocation of the simulator (tens of
+    millions per paper-scale run), so the whole hierarchy is ``__slots__``-ed
+    and the hot subclasses initialize their slots inline instead of
+    chaining ``super().__init__`` calls.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -94,11 +101,14 @@ class Event:
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self)
+        # Inlined self.env._schedule(self) — succeed() fires once per
+        # resolved event, millions of times per paper-scale run.
+        env = self.env
+        heapq.heappush(env._queue, (env._now, 1, next(env._seq), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -132,14 +142,19 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed delay."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        super().__init__(env)
+        # Inlined Event.__init__ (hot path: one Timeout per simulated delay).
+        self.env = env
+        self.callbacks = []
+        self._defused = False
         self._delay = delay
         self._ok = True
         self._value = value
-        env._schedule(self, delay)
+        heapq.heappush(env._queue, (env._now + delay, 1, next(env._seq), self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self._delay}>"
@@ -148,9 +163,12 @@ class Timeout(Event):
 class Initialize(Event):
     """Immediate event that starts a new process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
-        self.callbacks.append(process._resume)
+        self.env = env
+        self.callbacks = [process._resume]
+        self._defused = False
         self._ok = True
         self._value = None
         env._schedule(self, 0, front=True)
@@ -162,6 +180,8 @@ class Process(Event):
     The process itself is an event that triggers with the generator's return
     value when the generator finishes (or with its exception).
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
@@ -196,33 +216,38 @@ class Process(Event):
         self._target = None
 
     def _resume(self, event: Event) -> None:
-        self.env._active_proc = self
+        env = self.env
+        generator = self._generator
+        send = generator.send
+        env._active_proc = self
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     event._defused = True
                     exc = event._value
-                    next_event = self._generator.throw(exc)
+                    next_event = generator.throw(exc)
             except StopIteration as exc:
                 self._ok = True
                 self._value = exc.value
-                self.env._schedule(self)
+                heapq.heappush(env._queue,
+                               (env._now, 1, next(env._seq), self))
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
-                self.env._schedule(self)
+                heapq.heappush(env._queue,
+                               (env._now, 1, next(env._seq), self))
                 break
 
             if not isinstance(next_event, Event):
-                self._generator.throw(
+                generator.throw(
                     SimulationError(f"process yielded non-event {next_event!r}")
                 )
                 continue
-            if next_event.env is not self.env:
-                self._generator.throw(
+            if next_event.env is not env:
+                generator.throw(
                     SimulationError("event belongs to a different environment")
                 )
                 continue
@@ -235,7 +260,7 @@ class Process(Event):
             # Already processed: continue immediately with its value.
             event = next_event
 
-        self.env._active_proc = None
+        env._active_proc = None
 
     def __repr__(self) -> str:
         name = getattr(self._generator, "__name__", str(self._generator))
@@ -244,6 +269,8 @@ class Process(Event):
 
 class _Condition(Event):
     """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("_events", "_count")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -292,12 +319,16 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Triggers once *all* constituent events have triggered."""
 
+    __slots__ = ()
+
     def _done(self) -> bool:
         return self._count >= len(self._events)
 
 
 class AnyOf(_Condition):
     """Triggers once *any* constituent event has triggered."""
+
+    __slots__ = ()
 
     def _done(self) -> bool:
         return self._count >= 1 or not self._events
@@ -311,6 +342,10 @@ class Environment:
         self._queue: List = []  # (time, priority, seq, event)
         self._seq = itertools.count()
         self._active_proc: Optional[Process] = None
+        #: events processed so far (each :meth:`step`, or loop iteration of
+        #: :meth:`run`, handles exactly one) — the denominator of the
+        #: events/second throughput the benchmark harness records
+        self.events_processed: int = 0
         #: observability event bus (repro.obs): disabled by default, so the
         #: instrumented call sites throughout the stack cost nothing.
         self.obs: EventBus = EventBus(clock=lambda: self._now)
@@ -355,6 +390,7 @@ class Environment:
             raise SimulationError("no more events")
         when, _prio, _seq, event = heapq.heappop(self._queue)
         self._now = when
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for cb in callbacks:
             cb(event)
@@ -367,19 +403,49 @@ class Environment:
         ``until`` may be ``None`` (run to exhaustion), a number (run up to
         that virtual time), or an :class:`Event` (run until it is processed,
         returning its value).
+
+        The two unbounded forms inline :meth:`step` — paper-scale runs
+        process tens of millions of events, so one method call plus
+        re-resolved attribute lookups per event is measurable wall-clock.
+        The semantics (FIFO order at equal time, failure propagation) are
+        exactly :meth:`step`'s.
         """
+        queue = self._queue
+        pop = heapq.heappop
+        steps = 0
         if until is None:
-            while self._queue:
-                self.step()
+            try:
+                while queue:
+                    when, _prio, _seq, event = pop(queue)
+                    self._now = when
+                    steps += 1
+                    callbacks, event.callbacks = event.callbacks, None
+                    for cb in callbacks:
+                        cb(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+            finally:
+                self.events_processed += steps
             return None
         if isinstance(until, Event):
             target = until
-            while not target.processed:
-                if not self._queue:
-                    raise SimulationError(
-                        f"event queue empty before {target!r} triggered (deadlock?)"
-                    )
-                self.step()
+            try:
+                while target.callbacks is not None:  # i.e. not yet processed
+                    if not queue:
+                        raise SimulationError(
+                            f"event queue empty before {target!r} triggered "
+                            "(deadlock?)"
+                        )
+                    when, _prio, _seq, event = pop(queue)
+                    self._now = when
+                    steps += 1
+                    callbacks, event.callbacks = event.callbacks, None
+                    for cb in callbacks:
+                        cb(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+            finally:
+                self.events_processed += steps
             if not target._ok:
                 raise target._value
             return target._value

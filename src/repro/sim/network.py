@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, Iterable, Optional
 
-from .engine import Environment, SimulationError
+from .engine import Environment, SimulationError, Timeout
 from .resources import Resource, Store
 
 __all__ = ["NetworkSpec", "Message", "Network", "Endpoint", "QDR_INFINIBAND", "GIGABIT_ETHERNET"]
@@ -53,7 +53,7 @@ GIGABIT_ETHERNET = NetworkSpec(
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A message in flight or delivered.
 
@@ -124,15 +124,23 @@ class Network:
         if dst not in self.endpoints:
             raise SimulationError(f"no endpoint with rank {dst}")
         env = self.env
+        spec = self.spec
         msg = Message(src=src_ep.rank, dst=dst, tag=tag, payload=payload,
                       nbytes=nbytes, send_time=env.now)
-        with (yield src_ep.nic.request()):
+        # Hot path (one per protocol message): claim the NIC with an
+        # explicit try/finally instead of the context-manager protocol,
+        # and build Timeouts directly.  Event order is unchanged.
+        nic = src_ep.nic
+        req = yield nic.request()
+        try:
             # Serialization occupies the sender's injection link.
             inject_start = env.now
-            serialize = self.spec.per_message_overhead_s + nbytes / self.spec.bandwidth_bps
-            yield env.timeout(serialize)
+            yield Timeout(env, spec.per_message_overhead_s
+                          + nbytes / spec.bandwidth_bps)
+        finally:
+            nic.release(req)
         # Fabric latency does not occupy the NIC.
-        yield env.timeout(self.spec.latency_s)
+        yield Timeout(env, spec.latency_s)
         msg.recv_time = env.now
         src_ep.bytes_sent += nbytes
         src_ep.messages_sent += 1

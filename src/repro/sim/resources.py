@@ -8,9 +8,10 @@ continuous amount (e.g. device memory in bytes).
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
 
-from .engine import Environment, Event, SimulationError
+from .engine import _PENDING, Environment, Event, SimulationError
 
 __all__ = ["Resource", "Store", "PriorityStore", "Container"]
 
@@ -18,8 +19,16 @@ __all__ = ["Resource", "Store", "PriorityStore", "Container"]
 class _Request(Event):
     """A pending claim on a resource slot; usable as a context manager."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.env)
+        # Inlined Event.__init__ — one _Request per cpu_delay/NIC claim
+        # makes this one of the hottest allocations of a run.
+        self.env = resource.env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self.resource = resource
         resource._queue.append(self)
         resource._trigger()
@@ -45,7 +54,9 @@ class Resource:
         self.env = env
         self.capacity = capacity
         self._users: List[_Request] = []
-        self._queue: List[_Request] = []
+        # deque: grants pop from the left on every release; a list's
+        # pop(0) is O(waiters) and CPU cores queue deeply under load
+        self._queue: Deque[_Request] = deque()
 
     @property
     def count(self) -> int:
@@ -60,22 +71,31 @@ class Resource:
         return _Request(self)
 
     def release(self, request: _Request) -> None:
-        if request in self._users:
+        try:
             self._users.remove(request)
-        else:
+        except ValueError:
             request.cancel()
         self._trigger()
 
     def _trigger(self) -> None:
-        while self._queue and len(self._users) < self.capacity:
-            req = self._queue.pop(0)
-            self._users.append(req)
+        users = self._users
+        queue = self._queue
+        capacity = self.capacity
+        while queue and len(users) < capacity:
+            req = queue.popleft()
+            users.append(req)
             req.succeed(req)
 
 
 class _StoreGet(Event):
+    __slots__ = ("filt", "env_store")
+
     def __init__(self, store: "Store", filt: Optional[Callable[[Any], bool]] = None):
-        super().__init__(store.env)
+        self.env = store.env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self.filt = filt
         store._getters.append(self)
         store._trigger()
@@ -86,8 +106,14 @@ class _StoreGet(Event):
 
 
 class _StorePut(Event):
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any):
-        super().__init__(store.env)
+        self.env = store.env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self.item = item
         store._putters.append(self)
         store._trigger()
@@ -101,7 +127,7 @@ class Store:
         self.capacity = capacity
         self.items: List[Any] = []
         self._getters: List[_StoreGet] = []
-        self._putters: List[_StorePut] = []
+        self._putters: Deque[_StorePut] = deque()
 
     def __len__(self) -> int:
         return len(self.items)
@@ -123,29 +149,34 @@ class Store:
         self.items.append(item)
 
     def _trigger(self) -> None:
+        items = self.items
+        putters = self._putters
+        getters = self._getters
         progress = True
         while progress:
             progress = False
             # Admit puts while there is room.
-            while self._putters and len(self.items) < self.capacity:
-                put = self._putters.pop(0)
+            while putters and len(items) < self.capacity:
+                put = putters.popleft()
                 self._insert(put.item)
                 put.succeed()
                 progress = True
-            # Satisfy getters.
-            for get in list(self._getters):
+            # Satisfy getters (no matches are possible while empty).
+            if not items or not getters:
+                continue
+            for get in list(getters):
                 matched = None
                 if get.filt is None:
-                    if self.items:
-                        matched = self.items[0]
+                    if items:
+                        matched = items[0]
                 else:
-                    for item in self.items:
+                    for item in items:
                         if get.filt(item):
                             matched = item
                             break
                 if matched is not None:
-                    self.items.remove(matched)
-                    self._getters.remove(get)
+                    items.remove(matched)
+                    getters.remove(get)
                     get.succeed(matched)
                     progress = True
 
@@ -167,6 +198,8 @@ class PriorityStore(Store):
 
 
 class _ContainerGet(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
         super().__init__(container.env)
         self.amount = amount
@@ -175,6 +208,8 @@ class _ContainerGet(Event):
 
 
 class _ContainerPut(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
         super().__init__(container.env)
         self.amount = amount

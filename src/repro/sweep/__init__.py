@@ -1,0 +1,47 @@
+"""Parallel, cached, resumable sweep engine.
+
+The evaluation of the paper is a few hundred independent
+``(experiment, config, seed)`` simulation runs.  This package turns those
+into first-class *cells* (:mod:`repro.sweep.spec`), executes them across a
+``multiprocessing`` pool with failure isolation and bounded retries
+(:mod:`repro.sweep.engine`), memoizes each cell's deterministic result in
+a content-addressed disk cache keyed by spec + code version
+(:mod:`repro.sweep.cache`), and records machine-readable benchmark
+figures (:mod:`repro.sweep.bench`).  ``python -m repro sweep`` is the
+user-facing entry point (:mod:`repro.sweep.cli`); see ``docs/sweep.md``.
+"""
+
+from .cache import SweepCache, cell_key, code_salt, default_cache_dir
+from .engine import (
+    CellOutcome,
+    SweepError,
+    SweepReport,
+    SweepSession,
+    run_cells,
+)
+from .spec import (
+    CellResult,
+    ClusterSpec,
+    RunSpec,
+    config_items,
+    run_cell,
+    run_cells_inline,
+)
+
+__all__ = [
+    "CellOutcome",
+    "CellResult",
+    "ClusterSpec",
+    "RunSpec",
+    "SweepCache",
+    "SweepError",
+    "SweepReport",
+    "SweepSession",
+    "cell_key",
+    "code_salt",
+    "config_items",
+    "default_cache_dir",
+    "run_cell",
+    "run_cells",
+    "run_cells_inline",
+]

@@ -1,0 +1,107 @@
+"""Machine-readable sweep benchmark records (``BENCH_sweep.json``).
+
+Schema (``repro-bench-sweep/1``)::
+
+    {
+      "schema": "repro-bench-sweep/1",
+      "created_unix": 1754650000.0,
+      "host": {"platform": "...", "python": "3.12.3", "cpu_count": 8},
+      "jobs": 8,
+      "sweeps": [
+        {
+          "experiment": "fig7_8",
+          "cells": 15,            # unique cells in the grid
+          "executed": 15,         # ran this invocation
+          "cache_hits": 0,        # served from the result cache
+          "failed": 0,
+          "wall_s": 81.2,         # sweep wall-clock (parallel)
+          "cell_wall_s_total": 310.5,   # sequential-equivalent cost
+          "speedup_vs_sequential": 3.82,  # cell_wall_s_total / wall_s
+          "sim_events": 61234567,
+          "events_per_sec": 754000.0      # sim_events / wall_s
+        }, ...
+      ],
+      "totals": { same fields aggregated across sweeps }
+    }
+
+``speedup_vs_sequential`` compares the observed wall-clock against the sum
+of per-cell costs; for cache hits the per-cell cost is the wall recorded
+when the cell was first computed, so a warm re-run shows the cache's
+effective speedup, not 0/0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+from typing import Any, Dict, List
+
+from .engine import SweepReport
+
+__all__ = ["BENCH_SCHEMA", "sweep_entry", "write_bench"]
+
+BENCH_SCHEMA = "repro-bench-sweep/1"
+
+
+def _host() -> Dict[str, Any]:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+        "argv": sys.argv[1:],
+    }
+
+
+def sweep_entry(experiment_id: str, report: SweepReport) -> Dict[str, Any]:
+    """One per-experiment record from a finished report."""
+    wall = report.wall_s
+    return {
+        "experiment": experiment_id,
+        "cells": len(report.outcomes),
+        "executed": report.executed,
+        "cache_hits": report.cache_hits,
+        "failed": len(report.failed),
+        "wall_s": round(wall, 3),
+        "cell_wall_s_total": round(report.cell_wall_s_total, 3),
+        "speedup_vs_sequential": (
+            round(report.cell_wall_s_total / wall, 2) if wall > 0 else 0.0),
+        "sim_events": report.sim_events,
+        "events_per_sec": round(report.sim_events / wall, 0) if wall > 0 else 0.0,
+    }
+
+
+def write_bench(path: pathlib.Path, entries: List[Dict[str, Any]],
+                jobs: int) -> Dict[str, Any]:
+    """Aggregate per-experiment entries and write the JSON record."""
+    totals = {
+        "cells": sum(e["cells"] for e in entries),
+        "executed": sum(e["executed"] for e in entries),
+        "cache_hits": sum(e["cache_hits"] for e in entries),
+        "failed": sum(e["failed"] for e in entries),
+        "wall_s": round(sum(e["wall_s"] for e in entries), 3),
+        "cell_wall_s_total": round(
+            sum(e["cell_wall_s_total"] for e in entries), 3),
+        "sim_events": sum(e["sim_events"] for e in entries),
+    }
+    wall = totals["wall_s"]
+    totals["speedup_vs_sequential"] = (
+        round(totals["cell_wall_s_total"] / wall, 2) if wall > 0 else 0.0)
+    totals["events_per_sec"] = (
+        round(totals["sim_events"] / wall, 0) if wall > 0 else 0.0)
+    record = {
+        "schema": BENCH_SCHEMA,
+        "created_unix": time.time(),
+        "host": _host(),
+        "jobs": jobs,
+        "sweeps": entries,
+        "totals": totals,
+    }
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record
