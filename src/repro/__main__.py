@@ -7,6 +7,7 @@ Usage::
     python -m repro run all -o results/      # run everything, save artifacts
     python -m repro sweep fig7_8 --jobs 8    # parallel, cached, resumable
     python -m repro lint --all               # static-verify builtin kernels
+    python -m repro serve --demo             # multi-tenant job service demo
 """
 
 from __future__ import annotations
@@ -118,6 +119,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     lint_p.add_argument("--errors-only", action="store_true",
                         help="hide warning-severity findings")
 
+    serve_p = sub.add_parser(
+        "serve", help="multi-tenant job service over the simulated "
+                      "cluster (NDJSON socket protocol, or --demo)")
+    serve_p.add_argument("--demo", action="store_true",
+                         help="run the acceptance scenario (concurrent "
+                              "tenant burst + mid-run node churn) and "
+                              "print the report")
+    serve_p.add_argument("--clients", type=int, default=200,
+                         help="concurrent demo clients (default: 200)")
+    serve_p.add_argument("--nodes", type=int, default=9,
+                         help="pool size in nodes (default: 9)")
+    serve_p.add_argument("--seed", type=int, default=42,
+                         help="session seed (default: 42)")
+    serve_p.add_argument("--admission-policy", default="fair-share",
+                         metavar="POLICY",
+                         help="admission policy (registry kind "
+                              "'admission': fair-share, strict-priority)")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="socket bind host (default: 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=0,
+                         help="socket bind port (default: ephemeral)")
+    serve_p.add_argument("--tenant", action="append", default=None,
+                         metavar="NAME[:WEIGHT]",
+                         help="register a tenant (repeatable; default: "
+                              "alpha:3 beta:2 gamma:1)")
+    serve_p.add_argument("--json", action="store_true", dest="as_json",
+                         help="machine-readable demo report")
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -130,6 +159,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         return lint_main(args.targets, all_apps=args.all_apps,
                          as_json=args.as_json,
                          errors_only=args.errors_only)
+
+    if args.command == "serve":
+        from .core.policy import policy_class as _policy_class
+        from .serve.cli import serve_main
+        try:
+            import repro.serve  # noqa: F401  (registers admission policies)
+            _policy_class("admission", args.admission_policy)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        return serve_main(
+            demo=args.demo, clients=args.clients, nodes=args.nodes,
+            seed=args.seed, policy=args.admission_policy,
+            host=args.host, port=args.port, tenants=args.tenant,
+            as_json=args.as_json)
 
     if args.command == "trace":
         from .obs.cli import trace_main

@@ -28,7 +28,7 @@ from ..devices.device import SimDevice
 from ..mcl.kernels import KernelLibrary
 from ..satin.comm import RuntimeInfo
 from ..satin.job import DivideConquerApp
-from ..satin.runtime import RunResult, RuntimeConfig, SatinRuntime
+from ..satin.runtime import RuntimeConfig, SatinRuntime
 from .scheduler import DeviceScheduler
 
 __all__ = ["CashmereConfig", "CashmereRuntime", "KernelLaunchError",
@@ -121,19 +121,24 @@ class CashmereRuntime(SatinRuntime):
     # ------------------------------------------------------------------
     # initialization (Sec. III-B "On initialization")
     # ------------------------------------------------------------------
-    def run(self, root_task: Any, until: Optional[float] = None) -> RunResult:
+    def begin(self, root_task: Any):
+        """Start a Cashmere run without driving the event loop.
+
+        The initialization phase (runtime-info broadcast + kernel
+        compilation) runs to completion here — makespan measurement starts
+        *after* it, as in :meth:`run` — and the returned root process is
+        then driven by the caller (see :meth:`SatinRuntime.begin`).
+        """
         if self._started:
-            raise RuntimeError("a CashmereRuntime instance runs exactly once")
+            raise RuntimeError(
+                f"a {type(self).__name__} instance runs exactly once")
         self._started = True
         self._start_nodes()
         init_proc = self.env.process(self._initialize())
         self.env.run(until=init_proc)
         master = self.cluster.node(0)
-        start = self.env.now
-        root_proc = self.env.process(self._root(master, root_task))
-        result = self.env.run(until=root_proc)
-        self._finish_run(start)
-        return RunResult(result=result, stats=self.stats)
+        self._run_start = self.env.now
+        return self.env.process(self._root(master, root_task))
 
     def _initialize(self) -> Generator:
         """Master broadcast + per-node kernel compilation."""

@@ -190,25 +190,43 @@ class Histogram(Metric):
         """Sample quantile with linear interpolation; None if empty."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q} outside [0, 1]")
-        samples = sorted(self._all(labels))
-        if not samples:
-            return None
-        if len(samples) == 1:
-            return samples[0]
-        pos = q * (len(samples) - 1)
-        lo = int(pos)
-        hi = min(lo + 1, len(samples) - 1)
-        frac = pos - lo
-        value = samples[lo] * (1.0 - frac) + samples[hi] * frac
-        # clamp fp interpolation error: the [min, max] bound is a contract
-        if value < samples[0]:
-            return samples[0]
-        if value > samples[-1]:
-            return samples[-1]
-        return value
+        return _sample_quantile(sorted(self._all(labels)), q)
 
     def items(self) -> List[Tuple[LabelKey, List[float]]]:
         return sorted(self._samples.items())
+
+
+def _sample_quantile(samples: List[float], q: float) -> Optional[float]:
+    """Linear-interpolation quantile of pre-sorted samples; None if empty."""
+    if not samples:
+        return None
+    if len(samples) == 1:
+        return samples[0]
+    pos = q * (len(samples) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(samples) - 1)
+    frac = pos - lo
+    value = samples[lo] * (1.0 - frac) + samples[hi] * frac
+    # clamp fp interpolation error: the [min, max] bound is a contract
+    if value < samples[0]:
+        return samples[0]
+    if value > samples[-1]:
+        return samples[-1]
+    return value
+
+
+def _histogram_entry(samples: List[float]) -> Dict[str, Any]:
+    """One histogram label-set in snapshot form, with summary quantiles."""
+    ordered = sorted(samples)
+    return {
+        "count": len(samples),
+        "sum": sum(samples),
+        "min": ordered[0] if ordered else None,
+        "max": ordered[-1] if ordered else None,
+        "mean": sum(samples) / len(samples) if samples else None,
+        "p50": _sample_quantile(ordered, 0.5),
+        "p99": _sample_quantile(ordered, 0.99),
+    }
 
 
 class MetricsRegistry:
@@ -267,12 +285,8 @@ class MetricsRegistry:
                     for key, value in metric.items()}
             elif isinstance(metric, Histogram):
                 entry["values"] = {
-                    ",".join(f"{k}={v}" for k, v in key) or "-": {
-                        "count": len(samples),
-                        "sum": sum(samples),
-                        "min": min(samples) if samples else None,
-                        "max": max(samples) if samples else None,
-                    }
+                    ",".join(f"{k}={v}" for k, v in key) or "-":
+                        _histogram_entry(samples)
                     for key, samples in metric.items()}
             out[name] = entry
         return out

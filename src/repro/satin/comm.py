@@ -41,6 +41,7 @@ from typing import (
     Generator,
     Iterable,
     Optional,
+    Set,
     Tuple,
     Type,
 )
@@ -164,6 +165,9 @@ class CommLayer:
         self.channels: Dict[int, "CommChannel"] = {}
         self._req_ids = itertools.count()
         self._pending: Dict[int, _PendingRequest] = {}
+        #: ranks the membership service reported dead (via
+        #: :meth:`fail_pending_to`); requests to these fail immediately
+        self.dead_ranks: Set[int] = set()
 
     # -- channels ------------------------------------------------------------
     def attach(self, endpoint: Endpoint) -> "CommChannel":
@@ -204,8 +208,14 @@ class CommLayer:
         """Resolve every in-flight request to ``dead_rank`` with ``None``.
 
         Called by the fault-tolerance layer when the membership service
-        reports a crash; returns the number of requests failed.
+        reports a crash; returns the number of requests failed.  Idempotent:
+        a second call for the same rank finds nothing pending and returns 0.
+        The rank is remembered in :attr:`dead_ranks`, so a request *opened
+        after* the notification (a thief racing the membership broadcast)
+        fails immediately instead of hanging until its reply timeout — or
+        forever, when no timeout is configured.
         """
+        self.dead_ranks.add(dead_rank)
         failed = 0
         for req_id, pending in list(self._pending.items()):
             if pending.dst == dead_rank and not pending.event.triggered:
@@ -286,6 +296,10 @@ class CommChannel:
             retries = layer.reply_retries
         attempts = 1 + (retries if timeout is not None else 0)
         for attempt in range(attempts):
+            if dst in layer.dead_ranks:
+                # Membership already declared the destination dead: fail
+                # fast, exactly as fail_pending_to would have.
+                return None
             req_id, pending = layer.open_request(dst)
             if on_attempt is not None:
                 on_attempt(req_id, attempt)

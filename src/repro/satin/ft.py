@@ -24,7 +24,7 @@ for.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Generator, Optional
+from typing import TYPE_CHECKING, Dict, Generator, Optional, Set
 
 from .job import Job
 
@@ -42,6 +42,15 @@ class FaultTolerance:
         self.env = runtime.env
         #: jobs stolen *from* each origin, by job id (the orphan table)
         self.stolen_out: Dict[int, Job] = {}
+        #: ranks whose crash this layer already handled (interrupt + orphan
+        #: re-queue scheduled exactly once per rank)
+        self._crashed: Set[int] = set()
+        #: ranks whose crash was reported to the comm layer.  Tracked
+        #: separately from ``_crashed``: a *silent* failure
+        #: (``notify_comm=False``) may be followed by a later membership
+        #: notification for the same rank, which must still fail the
+        #: pending requests even though the crash itself was handled.
+        self._notified: Set[int] = set()
 
     # -- orphan table --------------------------------------------------------
     def record_stolen(self, job: Job) -> None:
@@ -60,25 +69,38 @@ class FaultTolerance:
         ``notify_comm=False`` models a silent failure: the membership
         service never reports the crash, so in-flight requests to the dead
         node are left to the comm layer's reply-timeout path.
+
+        Idempotent per *effect*, not merely per call: repeated crashes of
+        the same rank neither re-interrupt, double-requeue orphans nor
+        double-increment the orphan counter — but a membership notification
+        (``notify_comm=True``) arriving *after* an earlier silent crash of
+        the same rank still fails the pending requests, because the two
+        effects are tracked independently.  The serve layer relies on this:
+        cluster-level churn and in-job fault injection may both report the
+        same dead node.
         """
         if rank == 0:
             raise ValueError("crashing the master is not supported")
         rt = self.runtime
         node = rt.cluster.node(rank)
-        if node.crashed:
-            return
-        node.crashed = True
-        if rt.obs.enabled:
-            rt.obs.emit("crash", node=rank)
-        for proc in rt._processes.get(rank, []):
-            proc.interrupt("node crashed")
-        if notify_comm:
+        first = rank not in self._crashed and not node.crashed
+        if first:
+            self._crashed.add(rank)
+            node.crashed = True
+            if rt.obs.enabled:
+                rt.obs.emit("crash", node=rank)
+            for proc in rt._processes.get(rank, []):
+                proc.interrupt("node crashed")
+        if notify_comm and rank not in self._notified:
             # The membership service reports the crash: steal requests in
-            # flight to the dead node fail immediately.
+            # flight to the dead node fail immediately (and the comm layer
+            # remembers the rank, so later requests fail fast too).
+            self._notified.add(rank)
             rt.comm.fail_pending_to(rank)
-        # Orphans: jobs the dead node had stolen get re-queued at their
-        # origins after the membership service notices the crash.
-        self.env.process(self.requeue_orphans(rank))
+        if first:
+            # Orphans: jobs the dead node had stolen get re-queued at their
+            # origins after the membership service notices the crash.
+            self.env.process(self.requeue_orphans(rank))
 
     def crash_after(self, rank: int, delay: float) -> None:
         """Schedule a crash at ``delay`` seconds of virtual time from now."""

@@ -154,6 +154,7 @@ class SatinRuntime:
         self._shutdown = False
         self._started = False
         self._finished = False
+        self._run_start = 0.0
         for node in cluster.nodes:
             self._attach_channel(node)
 
@@ -178,16 +179,44 @@ class SatinRuntime:
     # ------------------------------------------------------------------
     def run(self, root_task: Any, until: Optional[float] = None) -> RunResult:
         """Execute the divide-and-conquer computation to completion."""
+        root_proc = self.begin(root_task)
+        self.env.run(until=root_proc)
+        return self.complete(root_proc)
+
+    def begin(self, root_task: Any) -> Process:
+        """Start the run without driving the event loop.
+
+        Starts the node processes and the root computation, then returns the
+        root :class:`~repro.sim.engine.Process` *without* running the
+        simulation.  External drivers (the ``repro.serve`` job executor)
+        advance the environment themselves — e.g. in bounded
+        :meth:`~repro.sim.engine.Environment.step` slices interleaved with
+        other work — and call :meth:`complete` once the root process is
+        processed.  ``run()`` is exactly ``begin`` + ``env.run`` +
+        ``complete``.
+        """
         if self._started:
-            raise RuntimeError("a SatinRuntime instance runs exactly once")
+            raise RuntimeError(
+                f"a {type(self).__name__} instance runs exactly once")
         self._started = True
         self._start_nodes()
         master = self.cluster.node(0)
-        start = self.env.now
-        root_proc = self.env.process(self._root(master, root_task))
-        result = self.env.run(until=root_proc)
-        self._finish_run(start)
-        return RunResult(result=result, stats=self.stats)
+        self._run_start = self.env.now
+        return self.env.process(self._root(master, root_task))
+
+    def complete(self, root_proc: Process) -> RunResult:
+        """Finish a run started with :meth:`begin`.
+
+        Must be called after the root process has been processed; performs
+        the end-of-run bookkeeping (makespan, derived gauges) and returns
+        the :class:`RunResult`.  A failed root propagates its exception.
+        """
+        if not root_proc.triggered:
+            raise RuntimeError("complete() before the root process finished")
+        if not root_proc.ok:
+            raise root_proc.value
+        self._finish_run(self._run_start)
+        return RunResult(result=root_proc.value, stats=self.stats)
 
     def _finish_run(self, start: float) -> None:
         """Shared end-of-run bookkeeping: makespan + derived gauges."""

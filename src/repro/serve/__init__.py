@@ -1,0 +1,46 @@
+"""``repro.serve`` — multi-tenant job service over the simulated cluster.
+
+The serving stack, bottom to top:
+
+* :mod:`~repro.serve.protocol` — typed requests/responses, NDJSON framing,
+  the :class:`~repro.serve.protocol.JobState` lifecycle and the
+  :class:`~repro.serve.protocol.RetryLater` typed-backpressure response,
+* :mod:`~repro.serve.tenants` — tenant configs, quotas and the closed
+  per-tenant accounting,
+* :mod:`~repro.serve.admission` — fair-share and strict-priority admission
+  policies in the unified scheduling-policy registry (kind ``"admission"``),
+* :mod:`~repro.serve.cluster` — the shared node pool: leases and churn,
+* :mod:`~repro.serve.service` — the synchronous, deterministic lifecycle
+  core (:class:`~repro.serve.service.JobService`),
+* :mod:`~repro.serve.executor` — sliced cooperative execution of each
+  job's deterministic simulation,
+* :mod:`~repro.serve.server` — the asyncio front-end: in-process API and
+  the NDJSON socket protocol,
+* :mod:`~repro.serve.scenarios` — canned burst/churn/drain/quota
+  scenarios shared by the tests, CI smoke, and ``--demo``.
+"""
+
+from .admission import (AdmissionPolicy, FairShareAdmission,
+                        StrictPriorityAdmission, create_admission_policy)
+from .cluster import ClusterPool, PoolNode
+from .executor import JobExecution, run_admitted_sync
+from .jobs import JobRecord, JobSpec, ServeTreeSum, derive_seed
+from .protocol import (TERMINAL_STATES, JobReport, JobState, RetryLater,
+                       ServeError, Submitted, decode_line, encode_line,
+                       response_from_wire)
+from .server import ServeServer, SocketClient
+from .service import JobService, ServeConfig
+from .tenants import TenantConfig, TenantState, build_tenant
+
+__all__ = [
+    "AdmissionPolicy", "FairShareAdmission", "StrictPriorityAdmission",
+    "create_admission_policy",
+    "ClusterPool", "PoolNode",
+    "JobExecution", "run_admitted_sync",
+    "JobRecord", "JobSpec", "ServeTreeSum", "derive_seed",
+    "TERMINAL_STATES", "JobReport", "JobState", "RetryLater", "ServeError",
+    "Submitted", "decode_line", "encode_line", "response_from_wire",
+    "ServeServer", "SocketClient",
+    "JobService", "ServeConfig",
+    "TenantConfig", "TenantState", "build_tenant",
+]

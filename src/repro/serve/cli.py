@@ -1,0 +1,83 @@
+"""``python -m repro serve`` — the multi-tenant job service entrypoint.
+
+Two modes:
+
+* ``--demo`` runs the acceptance scenario in-process: N concurrent
+  simulated clients across three weighted tenants, mid-burst node churn,
+  then prints the fairness/latency/chaos report (``--json`` for machines).
+  Exit status reflects the acceptance criteria.
+* without ``--demo`` it binds the NDJSON socket protocol and serves until
+  interrupted; ``--tenant name:weight`` registers tenants (repeatable).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from .scenarios import DEMO_TENANTS, format_report, run_demo
+from .server import ServeServer
+from .service import ServeConfig
+from .tenants import TenantConfig
+
+__all__ = ["serve_main", "parse_tenant_arg"]
+
+
+def parse_tenant_arg(arg: str) -> Tuple[str, float]:
+    """Parse one ``--tenant name[:weight]`` argument."""
+    name, _, weight = arg.partition(":")
+    if not name:
+        raise ValueError(f"bad --tenant {arg!r}: empty name")
+    try:
+        return name, float(weight) if weight else 1.0
+    except ValueError:
+        raise ValueError(
+            f"bad --tenant {arg!r}: weight must be a number") from None
+
+
+def serve_main(*, demo: bool = False, clients: int = 200, nodes: int = 9,
+               seed: int = 42, policy: str = "fair-share",
+               host: str = "127.0.0.1", port: int = 0,
+               tenants: Optional[Sequence[str]] = None,
+               as_json: bool = False) -> int:
+    try:
+        parsed: List[Tuple[str, float]] = [
+            parse_tenant_arg(t) for t in (tenants or [])]
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    if demo:
+        report = asyncio.run(run_demo(clients=clients, nodes=nodes,
+                                      seed=seed))
+        if as_json:
+            report = dict(report)
+            report.pop("results")  # typed objects; the scalars tell the story
+            print(json.dumps(report, indent=2, sort_keys=True, default=str))
+        else:
+            print(format_report(report))
+        return 0 if report["passed"] else 1
+
+    config = ServeConfig(
+        nodes=nodes, seed=seed, admission_policy=policy,
+        tenants=[TenantConfig(name=name, weight=weight)
+                 for name, weight in (parsed or list(DEMO_TENANTS))])
+
+    async def _serve() -> None:
+        server = ServeServer(config)
+        bound_host, bound_port = await server.start_socket(host, port)
+        print(f"repro serve: NDJSON protocol on {bound_host}:{bound_port} "
+              f"({config.nodes} pool nodes, policy={policy}, "
+              f"tenants={[t.name for t in config.tenants]})")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shutting down")
+    return 0

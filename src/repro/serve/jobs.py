@@ -1,0 +1,230 @@
+"""Job specifications, records and the serve application catalog.
+
+A submission names an application from a small catalog plus a problem size;
+the service turns it into a :class:`JobRecord` that carries the whole
+lifecycle: state machine position, timestamps, the node lease, the result,
+and the per-job observability artifacts (serialized event stream, Chrome
+trace).
+
+The per-job simulation **seed** derives from ``(service seed, tenant name,
+per-tenant acceptance sequence)`` — deliberately *not* from the global
+submission order — so a fixed-seed serve session replays byte-identical
+per-job event streams regardless of how client arrivals interleave across
+tenants (the serve determinism contract, locked down in
+``tests/test_obs_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..cluster.das4 import ClusterConfig, SimCluster
+from ..satin.job import DivideConquerApp
+from ..satin.runtime import RuntimeConfig, SatinRuntime
+from .protocol import JobState
+
+__all__ = ["JobSpec", "JobRecord", "ServeTreeSum", "derive_seed",
+           "build_execution_runtime", "APP_CATALOG"]
+
+
+# ---------------------------------------------------------------------------
+# specifications
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What a client asks the cluster to compute."""
+
+    app: str = "tree-sum"
+    size: int = 1024
+    leaf: int = 128
+    #: nodes leased from the shared pool (local rank 0 is the master)
+    nodes: int = 1
+    #: request the Chrome trace of this job's run in the result
+    trace: bool = False
+    #: simulated flops per item (controls virtual, not wall, duration)
+    flops_per_item: float = 1e5
+
+    def __post_init__(self) -> None:
+        if self.app not in APP_CATALOG:
+            raise ValueError(
+                f"unknown app {self.app!r}; catalog: {sorted(APP_CATALOG)}")
+        if self.size < 1 or self.leaf < 1 or self.nodes < 1:
+            raise ValueError("size, leaf and nodes must be >= 1")
+
+    @classmethod
+    def from_wire(cls, obj: Dict[str, Any]) -> "JobSpec":
+        """Build a spec from a submit request's fields (unknown keys are
+        ignored so the protocol can grow)."""
+        kwargs = {}
+        for key in ("app", "size", "leaf", "nodes", "trace",
+                    "flops_per_item"):
+            if key in obj:
+                kwargs[key] = obj[key]
+        return cls(**kwargs)
+
+
+@dataclass
+class JobRecord:
+    """One job's full lifecycle, owned by the service."""
+
+    id: int
+    tenant: str
+    spec: JobSpec
+    seed: int
+    tenant_seq: int
+    tag: Optional[str] = None
+    state: JobState = JobState.QUEUED
+    # -- timestamps (service clock; wall seconds) --------------------------
+    submitted_at: float = 0.0
+    admitted_at: Optional[float] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    # -- placement ---------------------------------------------------------
+    #: pool ranks leased to the job, local-rank order (index 0 = master)
+    lease_ranks: List[int] = field(default_factory=list)
+    # -- results -----------------------------------------------------------
+    result: Any = None
+    error: Optional[str] = None
+    makespan_s: Optional[float] = None
+    orphans_requeued: int = 0
+    #: serialized per-job observability stream (JSON lines)
+    events: Optional[str] = None
+    #: kind-histogram of the stream (cheap summary for reports)
+    event_kinds: Dict[str, int] = field(default_factory=dict)
+    #: Chrome-trace document when the spec asked for one
+    trace: Optional[Dict[str, Any]] = None
+    # -- control -----------------------------------------------------------
+    #: local ranks whose pool node died; the executor injects these crashes
+    #: between simulation slices
+    pending_crashes: List[int] = field(default_factory=list)
+    cancel_requested: bool = False
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in (JobState.DONE, JobState.FAILED,
+                              JobState.CANCELLED)
+
+    @property
+    def queue_wait_s(self) -> Optional[float]:
+        if self.admitted_at is None:
+            return None
+        return self.admitted_at - self.submitted_at
+
+    @property
+    def run_wall_s(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+def derive_seed(service_seed: int, tenant: str, tenant_seq: int) -> int:
+    """Deterministic per-job seed, independent of global arrival order."""
+    digest = hashlib.blake2b(
+        f"{service_seed}:{tenant}:{tenant_seq}".encode(),
+        digest_size=4).digest()
+    return int.from_bytes(digest, "big")
+
+
+# ---------------------------------------------------------------------------
+# the application catalog
+# ---------------------------------------------------------------------------
+
+class ServeTreeSum(DivideConquerApp):
+    """Recursive range sum — the serve catalog's CPU workhorse.
+
+    The returned value is the exact arithmetic sum of ``range(lo, hi)``, so
+    every serve response is *checkable*: stealing, churn and orphan
+    re-execution must never corrupt it.
+    """
+
+    name = "tree-sum"
+
+    def __init__(self, leaf_size: int = 128, flops_per_item: float = 1e5):
+        self.leaf_size = leaf_size
+        self.flops_per_item = flops_per_item
+
+    def is_leaf(self, task: Tuple[int, int]) -> bool:
+        lo, hi = task
+        return hi - lo <= self.leaf_size
+
+    def divide(self, task: Tuple[int, int]):
+        lo, hi = task
+        mid = (lo + hi) // 2
+        return [(lo, mid), (mid, hi)]
+
+    def combine(self, task: Any, results: List[Any]) -> Any:
+        return sum(results)
+
+    def task_bytes(self, task: Any) -> float:
+        return 16.0
+
+    def result_bytes(self, task: Any) -> float:
+        return 8.0
+
+    def leaf_flops(self, task: Tuple[int, int]) -> float:
+        lo, hi = task
+        return (hi - lo) * self.flops_per_item
+
+    def leaf(self, task: Tuple[int, int], ctx: Any) -> Generator:
+        yield from ctx.node.cpu_compute(self.leaf_flops(task),
+                                        label="serve-sum")
+        lo, hi = task
+        return sum(range(lo, hi))
+
+
+def _build_tree_sum(spec: JobSpec):
+    app = ServeTreeSum(leaf_size=spec.leaf,
+                       flops_per_item=spec.flops_per_item)
+    return app, (0, spec.size)
+
+
+def _build_matmul(spec: JobSpec):
+    from ..apps.matmul import MatmulApp
+    app = MatmulApp(n=spec.size, leaf_block=spec.leaf)
+    return app, app.root_task()
+
+
+def expected_result(spec: JobSpec) -> Optional[Any]:
+    """Closed-form expected result where one exists (used by validation)."""
+    if spec.app == "tree-sum":
+        return spec.size * (spec.size - 1) // 2
+    return None
+
+
+#: app name -> builder(spec) -> (DivideConquerApp, root_task)
+APP_CATALOG = {
+    "tree-sum": _build_tree_sum,
+    "matmul": _build_matmul,
+}
+
+
+# ---------------------------------------------------------------------------
+# runtime construction
+# ---------------------------------------------------------------------------
+
+def build_execution_runtime(job: JobRecord,
+                            node_devices: List[Tuple[str, ...]]):
+    """Build the per-job simulation: cluster, runtime and root task.
+
+    ``node_devices`` is the leased pool nodes' device tuples in local-rank
+    order.  Device-less leases run the Satin runtime (CPU leaves); leases
+    with devices run the Cashmere runtime with the app's kernel library.
+    The job's observability bus is always enabled — per-job event streams
+    and Chrome traces are part of the serve contract.
+    """
+    spec = job.spec
+    app, root_task = APP_CATALOG[spec.app](spec)
+    cluster = SimCluster(
+        ClusterConfig(name=f"serve-job{job.id}", nodes=list(node_devices)),
+        obs_enabled=True)
+    if any(node_devices):
+        from ..core.runtime import CashmereConfig, CashmereRuntime
+        library = app.build_library(optimized=True)
+        runtime: SatinRuntime = CashmereRuntime(
+            cluster, app, library, CashmereConfig(seed=job.seed))
+    else:
+        runtime = SatinRuntime(cluster, app, RuntimeConfig(seed=job.seed))
+    return cluster, runtime, root_task

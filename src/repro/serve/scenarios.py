@@ -1,0 +1,302 @@
+"""Canned serve scenarios: bursts, churn, drain, quota exhaustion.
+
+One implementation, three consumers: the scenario test suite asserts on
+the returned report dictionaries, the CI smoke job runs
+:func:`run_demo` at reduced scale, and ``python -m repro serve --demo``
+runs it at full scale and pretty-prints the report.  Keeping the
+scenarios in the library (not the tests) means the demo exercising the
+acceptance criteria *is* the code the tests pin down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .jobs import JobSpec
+from .protocol import JobReport, RetryLater, Submitted
+from .server import ServeServer
+from .service import JobService, ServeConfig
+from .tenants import TenantConfig
+
+__all__ = ["burst_server", "tenant_burst", "churn_mid_job",
+           "graceful_drain", "quota_exhaustion", "run_demo",
+           "format_report"]
+
+#: (name, weight) triples of the demo tenants
+DEMO_TENANTS: Tuple[Tuple[str, float], ...] = (
+    ("alpha", 3.0), ("beta", 2.0), ("gamma", 1.0))
+
+
+def burst_server(*, nodes: int = 9, seed: int = 42,
+                 tenants: Sequence[Tuple[str, float]] = DEMO_TENANTS,
+                 max_queued: int = 16, max_in_flight: int = 4,
+                 admission_policy: str = "fair-share") -> ServeServer:
+    """A server wired for the burst scenarios (shared by tests and demo)."""
+    config = ServeConfig(
+        nodes=nodes, seed=seed, admission_policy=admission_policy,
+        tenants=[TenantConfig(name=name, weight=weight,
+                              max_queued=max_queued,
+                              max_in_flight=max_in_flight)
+                 for name, weight in tenants])
+    return ServeServer(config)
+
+
+async def _client(server: ServeServer, tenant: str, spec: JobSpec,
+                  tag: str) -> Dict[str, Any]:
+    """One simulated client: submit (retrying backpressure), await result."""
+    response, retries = await server.submit_and_wait(tenant, spec, tag=tag)
+    ok = isinstance(response, JobReport) and response.state == "done"
+    return {"tenant": tenant, "tag": tag, "ok": ok, "retries": retries,
+            "state": getattr(response, "state", None),
+            "response": response}
+
+
+def _fairness(service: JobService) -> Dict[str, Any]:
+    shares = service.admitted_shares()
+    entitlements = service.entitlements()
+    return {
+        "shares": shares,
+        "entitlements": entitlements,
+        "max_abs_delta": max(
+            (abs(shares[name] - entitlements[name]) for name in shares),
+            default=0.0),
+        "contested_decisions": sum(
+            1 for e in service.admission_log
+            if set(e["eligible"]) == set(service.tenants)),
+    }
+
+
+def _wait_quantiles(service: JobService) -> Dict[str, Optional[float]]:
+    hist = service.registry.histogram("serve_queue_wait_seconds")
+    return {"p50": hist.quantile(0.5), "p99": hist.quantile(0.99),
+            "mean": hist.mean(), "count": hist.count()}
+
+
+async def tenant_burst(server: Optional[ServeServer] = None, *,
+                       clients: int = 60,
+                       spec: Optional[JobSpec] = None,
+                       crash_after: Optional[int] = None
+                       ) -> Dict[str, Any]:
+    """Burst ``clients`` concurrent submissions across all tenants.
+
+    Clients are assigned round-robin over the tenants; each submits one
+    job, retries typed backpressure, and awaits its report.  When
+    ``crash_after`` is given, one pool node is killed once that many jobs
+    have finished — mid-burst churn.  Returns the scenario report.
+    """
+    server = server or burst_server()
+    spec = spec or JobSpec(size=512, leaf=64, nodes=2)
+    service = server.service
+    names = sorted(service.tenants)
+
+    crash_info: Dict[str, Any] = {"requested": crash_after is not None}
+
+    async def chaos() -> None:
+        assert crash_after is not None
+        while True:
+            done = sum(1 for j in service.jobs.values() if j.terminal)
+            if done >= crash_after:
+                break
+            await asyncio.sleep(0.001)
+        hit = server.inject_crash()
+        if hit is not None:
+            rank, job_id = hit
+            crash_info.update(rank=rank, job_id=job_id)
+
+    chaos_task = (asyncio.ensure_future(chaos())
+                  if crash_after is not None else None)
+    results = await asyncio.gather(*(
+        _client(server, names[i % len(names)], spec, tag=f"c{i}")
+        for i in range(clients)))
+    if chaos_task is not None:
+        chaos_task.cancel()
+        try:
+            await chaos_task
+        except asyncio.CancelledError:
+            pass
+    accounting = await server.drain()
+
+    ok = sum(1 for r in results if r["ok"])
+    crash_job = crash_info.get("job_id")
+    if crash_job is not None:
+        crash_info["job_state"] = service.jobs[crash_job].state.value
+        crash_info["job_orphans"] = service.jobs[crash_job].orphans_requeued
+    return {
+        "clients": clients,
+        "tenants": names,
+        "completed_ok": ok,
+        "retries_total": sum(r["retries"] for r in results),
+        "lost_jobs": service.lost_jobs(),
+        "accounting": accounting,
+        "accounting_closed": service.accounting_closed(),
+        "fairness": _fairness(service),
+        "queue_wait_s": _wait_quantiles(service),
+        "orphans_requeued_total": sum(
+            j.orphans_requeued for j in service.jobs.values()),
+        "crash": crash_info,
+        "results": results,
+    }
+
+
+async def churn_mid_job(*, nodes: int = 6, job_nodes: int = 3,
+                        jobs: int = 6, crashes: int = 2,
+                        seed: int = 7) -> Dict[str, Any]:
+    """Kill leased nodes while multi-node jobs are running.
+
+    The victims are always non-master leased nodes, so the in-job recovery
+    path is Satin's orphan re-execution — the job must still finish with
+    the correct result.
+    """
+    server = burst_server(nodes=nodes, seed=seed,
+                          tenants=(("alpha", 1.0), ("beta", 1.0)),
+                          max_queued=jobs, max_in_flight=2)
+    service = server.service
+    spec = JobSpec(size=4096, leaf=64, nodes=job_nodes)
+    submitted: List[int] = []
+    for i in range(jobs):
+        resp = server.submit(["alpha", "beta"][i % 2], spec, tag=f"j{i}")
+        assert isinstance(resp, Submitted), resp
+        submitted.append(resp.job_id)
+    # let the admitted jobs advance into their simulations, then churn
+    crash_hits: List[Tuple[int, Optional[int]]] = []
+    for _ in range(crashes):
+        for _ in range(20):
+            await asyncio.sleep(0)
+        hit = server.inject_crash()
+        if hit is not None:
+            crash_hits.append(hit)
+    reports = [await server.wait(jid) for jid in submitted]
+    accounting = await server.drain()
+    return {
+        "jobs": {jid: r.state for jid, r in zip(submitted, reports)},
+        "results_ok": all(r.state == "done" for r in reports),
+        "crash_hits": crash_hits,
+        "hit_running_job": any(job_id is not None
+                               for _, job_id in crash_hits),
+        "orphans_requeued_total": sum(
+            j.orphans_requeued for j in service.jobs.values()),
+        "lost_jobs": service.lost_jobs(),
+        "accounting": accounting,
+        "accounting_closed": service.accounting_closed(),
+        "dead_nodes": [n.rank for n in service.pool.nodes if not n.alive],
+    }
+
+
+async def graceful_drain(*, jobs: int = 10, seed: int = 11
+                         ) -> Dict[str, Any]:
+    """Drain with work still queued: everything accepted finishes, new
+    submissions bounce with ``RetryLater("draining")``."""
+    server = burst_server(nodes=4, seed=seed,
+                          tenants=(("alpha", 1.0), ("beta", 1.0)),
+                          max_queued=jobs, max_in_flight=2)
+    service = server.service
+    spec = JobSpec(size=256, leaf=64, nodes=2)
+    ids = []
+    for i in range(jobs):
+        resp = server.submit(["alpha", "beta"][i % 2], spec)
+        assert isinstance(resp, Submitted), resp
+        ids.append(resp.job_id)
+    queued_at_drain = sum(len(t.queue) for t in service.tenants.values())
+    drain_task = asyncio.ensure_future(server.drain())
+    await asyncio.sleep(0)
+    late = server.submit("alpha", spec)
+    accounting = await drain_task
+    return {
+        "queued_at_drain": queued_at_drain,
+        "late_response": late,
+        "late_is_retry_later": isinstance(late, RetryLater),
+        "late_reason": getattr(late, "reason", None),
+        "terminal_states": [service.jobs[j].state.value for j in ids],
+        "all_terminal": all(service.jobs[j].terminal for j in ids),
+        "lost_jobs": service.lost_jobs(),
+        "accounting": accounting,
+        "accounting_closed": service.accounting_closed(),
+    }
+
+
+async def quota_exhaustion(*, burst: int = 12, seed: int = 13
+                           ) -> Dict[str, Any]:
+    """Hammer one small-quota tenant: over-limit submissions return typed
+    ``RetryLater`` (never raise), and the books stay closed."""
+    server = burst_server(nodes=2, seed=seed,
+                          tenants=(("tiny", 1.0),),
+                          max_queued=2, max_in_flight=1)
+    service = server.service
+    spec = JobSpec(size=128, leaf=32, nodes=1)
+    responses = [server.submit("tiny", spec, tag=f"q{i}")
+                 for i in range(burst)]
+    accepted = [r for r in responses if isinstance(r, Submitted)]
+    bounced = [r for r in responses if isinstance(r, RetryLater)]
+    accounting = await server.drain()
+    retry_metric = service.registry.counter("serve_retry_later_total")
+    return {
+        "burst": burst,
+        "accepted": len(accepted),
+        "bounced": len(bounced),
+        "reasons": sorted({r.reason for r in bounced}),
+        "all_typed": len(accepted) + len(bounced) == burst,
+        "rejected_counter": retry_metric.value(tenant="tiny",
+                                               reason="tenant-queue-full")
+        + retry_metric.value(tenant="tiny", reason="tenant-quota"),
+        "accounting": accounting,
+        "accounting_closed": service.accounting_closed(),
+        "lost_jobs": service.lost_jobs(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# the demo (acceptance criteria in one run)
+# ---------------------------------------------------------------------------
+
+async def run_demo(*, clients: int = 200, seed: int = 42,
+                   nodes: int = 9, job_nodes: int = 2,
+                   size: int = 512) -> Dict[str, Any]:
+    """The acceptance run: ``clients`` concurrent clients across the three
+    demo tenants, mid-burst node churn, zero lost jobs, fair shares."""
+    server = burst_server(nodes=nodes, seed=seed)
+    spec = JobSpec(size=size, leaf=64, nodes=job_nodes)
+    report = await tenant_burst(server, clients=clients, spec=spec,
+                                crash_after=max(1, clients // 8))
+    report["passed"] = bool(
+        report["completed_ok"] == clients
+        and not report["lost_jobs"]
+        and report["accounting_closed"]
+        and report["fairness"]["max_abs_delta"] <= 0.10
+        and (report["crash"].get("job_id") is None
+             or report["crash"].get("job_state") == "done"))
+    return report
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Human-readable demo summary."""
+    fair = report["fairness"]
+    wait = report["queue_wait_s"]
+    lines = [
+        f"clients           : {report['clients']} "
+        f"across {len(report['tenants'])} tenants {report['tenants']}",
+        f"completed ok      : {report['completed_ok']}",
+        f"lost jobs         : {len(report['lost_jobs'])}",
+        f"retries (typed)   : {report['retries_total']}",
+        f"accounting closed : {report['accounting_closed']}",
+        f"orphans requeued  : {report['orphans_requeued_total']}",
+        "fair share        : " + "  ".join(
+            f"{name}={fair['shares'][name]:.3f}"
+            f"(want {fair['entitlements'][name]:.3f})"
+            for name in sorted(fair["shares"])),
+        f"fairness delta    : {fair['max_abs_delta']:.3f} "
+        f"over {fair['contested_decisions']} contested decisions",
+        f"queue wait        : p50={wait['p50']:.4f}s p99={wait['p99']:.4f}s "
+        f"mean={wait['mean']:.4f}s (n={wait['count']})"
+        if wait["count"] else "queue wait        : (no samples)",
+    ]
+    crash = report.get("crash", {})
+    if crash.get("rank") is not None:
+        lines.append(
+            f"churn             : killed pool node {crash['rank']} "
+            f"(job {crash.get('job_id')} -> {crash.get('job_state')}, "
+            f"{crash.get('job_orphans', 0)} orphans requeued)")
+    if "passed" in report:
+        lines.append(f"acceptance        : "
+                     f"{'PASS' if report['passed'] else 'FAIL'}")
+    return "\n".join(lines)

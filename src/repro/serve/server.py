@@ -1,0 +1,252 @@
+"""Asyncio front-end of the job service.
+
+:class:`ServeServer` is a thin concurrency shell around the synchronous
+:class:`~repro.serve.service.JobService` core: every state transition
+happens inside the core on the event-loop thread, so there are no locks
+and no races — asyncio only provides *interleaving* (thousands of client
+coroutines, hundreds of sliced job simulations, socket I/O) on one loop.
+
+Two equivalent client surfaces:
+
+* the **in-process API** (``submit`` / ``wait`` / ``submit_and_wait`` /
+  ``cancel`` / ``drain``) returning the typed protocol objects — what the
+  scenario tests and the demo drive,
+* the **NDJSON socket protocol** (``start_socket``): one JSON request per
+  line, one JSON response per line, same shapes via ``to_wire()``.
+
+Backpressure composes: a ``RetryLater`` from the core is returned (or
+serialized) verbatim, and :meth:`submit_and_wait` implements the polite
+client loop — sleep ``retry_after_s``, resubmit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional, Tuple, Union
+
+from .executor import JobExecution
+from .jobs import JobSpec
+from .protocol import (JobReport, RetryLater, ServeError, Submitted,
+                       decode_line, encode_line, response_from_wire)
+from .service import JobService, ServeConfig
+
+__all__ = ["ServeServer", "SocketClient"]
+
+#: StreamReader line limit for NDJSON framing, both directions.  One
+#: response line can carry a whole Chrome trace (a few MiB for a large
+#: traced job); asyncio's 64 KiB default would fail mid-protocol with
+#: ``LimitOverrunError``.
+LINE_LIMIT = 64 * 1024 * 1024
+
+
+class ServeServer:
+    """The serve front-end: admission pump, job tasks, socket protocol."""
+
+    def __init__(self, config: Optional[ServeConfig] = None, *,
+                 service: Optional[JobService] = None):
+        self.service = service if service is not None else JobService(config)
+        #: job id -> asyncio task driving its sliced simulation
+        self._tasks: Dict[int, "asyncio.Task[Any]"] = {}
+        self._waiters: Dict[int, asyncio.Event] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- in-process API ----------------------------------------------------
+    def submit(self, tenant: str, spec: JobSpec,
+               tag: Optional[str] = None
+               ) -> Union[Submitted, RetryLater, ServeError]:
+        """Submit one job; admission may start it immediately."""
+        resp = self.service.submit(tenant, spec, tag)
+        if isinstance(resp, Submitted):
+            self.pump()
+        return resp
+
+    def pump(self) -> int:
+        """Admit whatever policy + capacity allow and launch those jobs."""
+        admitted = self.service.dispatch()
+        for job in admitted:
+            ex = JobExecution(self.service, job)
+            self._tasks[job.id] = asyncio.ensure_future(self._run_job(ex))
+        return len(admitted)
+
+    async def _run_job(self, ex: JobExecution) -> None:
+        try:
+            await ex.run_async()
+        finally:
+            job_id = ex.job.id
+            self._tasks.pop(job_id, None)
+            waiter = self._waiters.pop(job_id, None)
+            if waiter is not None:
+                waiter.set()
+            # freed capacity: admit the next queued jobs
+            self.pump()
+
+    async def wait(self, job_id: int) -> Union[JobReport, ServeError]:
+        """Await a job's terminal state and return its report."""
+        job = self.service.jobs.get(job_id)
+        if job is None:
+            return ServeError("unknown-job", f"no such job: {job_id}")
+        while not job.terminal:
+            waiter = self._waiters.setdefault(job_id, asyncio.Event())
+            await waiter.wait()
+        return self.service.report(job)
+
+    async def submit_and_wait(self, tenant: str, spec: JobSpec,
+                              tag: Optional[str] = None,
+                              max_retries: int = 10_000
+                              ) -> Tuple[Any, int]:
+        """The polite client: retry typed backpressure, then await.
+
+        Returns ``(final_response, retries)`` where the response is a
+        :class:`JobReport` on success, or the last :class:`RetryLater` /
+        :class:`ServeError` if the job never got in.
+        """
+        retries = 0
+        while True:
+            resp = self.submit(tenant, spec, tag)
+            if isinstance(resp, Submitted):
+                return await self.wait(resp.job_id), retries
+            if isinstance(resp, RetryLater) and retries < max_retries:
+                retries += 1
+                await asyncio.sleep(min(resp.retry_after_s, 0.005))
+                continue
+            return resp, retries
+
+    def cancel(self, job_id: int) -> Union[JobReport, ServeError]:
+        return self.service.cancel(job_id)
+
+    def inject_crash(self, rank: Optional[int] = None):
+        """Kill one pool node (chaos hook); running jobs recover in-sim."""
+        return self.service.inject_crash(rank)
+
+    async def drain(self) -> Dict[str, Dict[str, int]]:
+        """Graceful drain: reject new submissions, run everything already
+        accepted to a terminal state, then return the final accounting."""
+        self.service.start_drain()
+        while True:
+            self.pump()
+            tasks = list(self._tasks.values())
+            if not tasks:
+                break
+            await asyncio.gather(*tasks, return_exceptions=True)
+        # whatever is still queued can never run (e.g. the pool shrank
+        # below the job's node demand) — cancel it so accounting closes
+        for tenant in self.service.tenants.values():
+            for job in list(tenant.queue):
+                self.service.cancel(job.id)
+        return self.service.accounting()
+
+    # -- socket protocol ---------------------------------------------------
+    async def start_socket(self, host: str = "127.0.0.1",
+                           port: int = 0) -> Tuple[str, int]:
+        """Start the NDJSON socket listener; returns ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._handle_client, host, port, limit=LINE_LIMIT)
+        sock = self._server.sockets[0]
+        addr = sock.getsockname()
+        return addr[0], addr[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._tasks.values()):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks.values(),
+                                 return_exceptions=True)
+        self._tasks.clear()
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8", "replace").strip()
+                if not text:
+                    continue
+                try:
+                    request = decode_line(text)
+                except ValueError as exc:
+                    response: Any = ServeError("bad-request", str(exc))
+                else:
+                    response = await self.handle_request(request)
+                writer.write(encode_line(response).encode())
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def handle_request(self, request: Dict[str, Any]) -> Any:
+        """Dispatch one protocol request (shared by socket and tests)."""
+        op = request.get("op")
+        tag = request.get("tag")
+        if op == "submit":
+            try:
+                spec = JobSpec.from_wire(request)
+            except (TypeError, ValueError) as exc:
+                return ServeError("bad-spec", str(exc), tag=tag)
+            return self.submit(str(request.get("tenant", "")), spec, tag)
+        if op == "wait":
+            return await self.wait(int(request.get("job_id", -1)))
+        if op == "status":
+            return self.service.report_by_id(int(request.get("job_id", -1)))
+        if op == "cancel":
+            return self.cancel(int(request.get("job_id", -1)))
+        if op == "trace":
+            job = self.service.jobs.get(int(request.get("job_id", -1)))
+            if job is None:
+                return ServeError("unknown-job", "no such job", tag=tag)
+            return {"ok": True, "type": "trace", "job_id": job.id,
+                    "trace": job.trace, "tag": tag}
+        if op == "metrics":
+            return {"ok": True, "type": "metrics",
+                    "accounting": self.service.accounting(),
+                    "metrics": self.service.registry.snapshot(), "tag": tag}
+        if op == "drain":
+            accounting = await self.drain()
+            return {"ok": True, "type": "drained",
+                    "accounting": accounting, "tag": tag}
+        return ServeError("bad-request", f"unknown op {op!r}", tag=tag)
+
+
+class SocketClient:
+    """Minimal NDJSON client for tests and the demo's socket leg."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> "SocketClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=LINE_LIMIT)
+        return self
+
+    async def request(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        assert self._writer is not None and self._reader is not None
+        self._writer.write(encode_line(obj).encode())
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_line(line.decode())
+
+    async def request_typed(self, obj: Dict[str, Any]) -> Any:
+        return response_from_wire(await self.request(obj))
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass

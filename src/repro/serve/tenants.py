@@ -1,0 +1,123 @@
+"""Tenants: configuration, quotas and per-tenant accounting.
+
+A *tenant* is one traffic source sharing the serve cluster.  Each tenant
+has a weight (its fair share), an optional strict priority level, and two
+quotas that implement backpressure:
+
+* ``max_queued`` — the bounded depth of the tenant's admission queue;
+  submissions beyond it bounce with ``RetryLater("tenant-queue-full")``,
+* ``max_in_flight`` — how many of the tenant's jobs may be admitted or
+  running at once; the admission policy skips tenants at their quota, and
+  submissions are bounced once ``queued + in_flight`` would exceed
+  ``max_queued + max_in_flight`` (``RetryLater("tenant-quota")``).
+
+Accounting is closed by construction: **every** submission increments
+``submitted`` and ends in exactly one of ``rejected`` or a terminal state
+(``done``/``failed``/``cancelled``), so at any quiescent point
+
+    submitted == rejected + queued + in_flight + done + failed + cancelled
+
+— the invariant the hypothesis property suite drives at random.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Optional
+
+__all__ = ["TenantConfig", "TenantState", "build_tenant"]
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Static description of one tenant."""
+
+    name: str
+    #: fair-share weight (relative share of cluster admissions)
+    weight: float = 1.0
+    #: strict-priority level (higher wins under the strict-priority policy)
+    priority: int = 0
+    #: bounded admission-queue depth (backpressure)
+    max_queued: int = 64
+    #: admitted + running jobs allowed at once (quota)
+    max_in_flight: int = 8
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"tenant {self.name!r}: weight must be > 0")
+        if self.max_queued < 1 or self.max_in_flight < 1:
+            raise ValueError(
+                f"tenant {self.name!r}: quotas must be >= 1")
+
+
+class TenantState:
+    """Live state of one tenant: queue, quota usage, accounting, vtime."""
+
+    def __init__(self, config: TenantConfig):
+        self.config = config
+        #: FIFO admission queue of JobRecord (bounded by max_queued)
+        self.queue: Deque[Any] = deque()
+        #: admitted + running jobs (quota usage)
+        self.in_flight = 0
+        #: weighted virtual time of the fair-share policy (stride scheduler)
+        self.vtime = 0.0
+        #: monotone per-tenant sequence of *accepted* submissions — the
+        #: per-job seed derives from it, so replays are independent of the
+        #: global arrival interleaving across tenants
+        self.accepted_seq = 0
+        # -- accounting (closed: every submission ends in exactly one bin) --
+        self.submitted = 0
+        self.rejected = 0
+        self.done = 0
+        self.failed = 0
+        self.cancelled = 0
+
+    # -- derived -----------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    @property
+    def backlogged(self) -> bool:
+        """Whether the tenant has queued jobs waiting for admission."""
+        return len(self.queue) > 0
+
+    @property
+    def eligible(self) -> bool:
+        """Backlogged *and* below the in-flight quota: admissible now."""
+        return self.backlogged and self.in_flight < self.config.max_in_flight
+
+    @property
+    def terminal(self) -> int:
+        return self.done + self.failed + self.cancelled
+
+    def accounting(self) -> Dict[str, int]:
+        """Plain-data accounting snapshot."""
+        return {
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "queued": len(self.queue),
+            "in_flight": self.in_flight,
+            "done": self.done,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+        }
+
+    def accounting_closed(self) -> bool:
+        """The closure invariant: nothing ever leaks from the books."""
+        return self.submitted == (self.rejected + len(self.queue)
+                                  + self.in_flight + self.terminal)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<TenantState {self.name} q={len(self.queue)} "
+                f"in_flight={self.in_flight} vtime={self.vtime:.3f}>")
+
+
+def build_tenant(name: str, *, weight: float = 1.0, priority: int = 0,
+                 max_queued: int = 64, max_in_flight: int = 8,
+                 config: Optional[TenantConfig] = None) -> TenantState:
+    """Convenience constructor used by the service and the CLI."""
+    return TenantState(config or TenantConfig(
+        name=name, weight=weight, priority=priority,
+        max_queued=max_queued, max_in_flight=max_in_flight))

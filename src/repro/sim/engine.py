@@ -195,25 +195,41 @@ class Process(Event):
         return self._value is _PENDING
 
     def interrupt(self, cause: Any = None) -> None:
-        """Throw an :class:`Interrupt` into the process."""
+        """Throw an :class:`Interrupt` into the process.
+
+        Delivery is deferred to an immediate front-priority event, and the
+        unhooking from the process's current wait target happens at
+        *delivery* time, not here.  That ordering matters for a process
+        that has not started yet (its :class:`Initialize` event is still
+        queued): the initializer — also front-priority, queued earlier —
+        fires first, the generator runs to its first ``yield`` (entering
+        any ``try`` block that guards its loop), and only then is the
+        interrupt thrown.  Unhooking eagerly would instead cancel the
+        initialization and throw into a never-started generator, where no
+        handler can catch it.
+        """
         if not self.is_alive:
             return  # interrupting a dead process is a no-op
         if self is self.env.active_process:
             raise SimulationError("a process cannot interrupt itself")
-        # Deliver via an immediate event so ordering stays deterministic.
         event = Event(self.env)
         event._ok = False
         event._value = Interrupt(cause)
         event._defused = True
-        event.callbacks.append(self._resume)
+        event.callbacks.append(self._deliver_interrupt)
         self.env._schedule(event, 0, front=True)
-        # Unhook from whatever the process was waiting for.
+
+    def _deliver_interrupt(self, event: Event) -> None:
+        if not self.is_alive:
+            return  # finished (or a second interrupt landed) meanwhile
+        # Unhook from whatever the process is waiting for *now*.
         if self._target is not None and self._target.callbacks is not None:
             try:
                 self._target.callbacks.remove(self._resume)
             except ValueError:
                 pass
         self._target = None
+        self._resume(event)
 
     def _resume(self, event: Event) -> None:
         env = self.env

@@ -91,3 +91,88 @@ def test_stream_is_replayable_json_lines():
     ts = [r["ts"] for r in records]
     assert all(b >= a for a, b in zip(ts, ts[1:])), \
         "event timestamps must be non-decreasing in emission order"
+
+
+# ---------------------------------------------------------------------------
+# serve sessions: per-job streams are independent of client arrival order
+# ---------------------------------------------------------------------------
+#
+# The serve contract extends the determinism contract across tenants: each
+# accepted job's seed derives from (session seed, tenant, per-tenant
+# sequence number) and each job runs its own fresh simulation, so a job's
+# event stream depends only on *which* submission it was for its tenant —
+# never on how the submissions of different tenants happened to interleave
+# at the socket, and never on what shared-pool slice it landed on.
+
+def _serve_spec_for(tenant: str, k: int):
+    """The k-th job spec of a tenant: fixed per (tenant, k), varied enough
+    to make stream mixups across jobs detectable.  Multi-node jobs with
+    many leaves, so the randomized steal protocol has real victim choices
+    and the per-job seed is visible in the stream."""
+    from repro.serve import JobSpec
+    sizes = {"alpha": (1536, 1024, 2048), "beta": (896, 1280, 1792)}[tenant]
+    return JobSpec(size=sizes[k % 3], leaf=64, nodes=2 + k % 2)
+
+
+def _serve_session(seed: int, arrival_order):
+    """Run one full serve session; return {(tenant, seq): event stream}."""
+    import itertools
+
+    from repro.serve import ServeConfig, Submitted
+    from repro.serve.executor import run_admitted_sync
+    from repro.serve.service import JobService
+    from repro.serve.tenants import TenantConfig
+
+    service = JobService(
+        ServeConfig(nodes=6, seed=seed,
+                    tenants=[TenantConfig(name="alpha", weight=3.0),
+                             TenantConfig(name="beta", weight=1.0)]),
+        clock=itertools.count(0).__next__)
+    next_k = {"alpha": 0, "beta": 0}
+    for tenant in arrival_order:
+        spec = _serve_spec_for(tenant, next_k[tenant])
+        next_k[tenant] += 1
+        assert isinstance(service.submit(tenant, spec), Submitted)
+    finished = run_admitted_sync(service)
+    assert all(job.state.value == "done" for job in finished)
+    assert all(job.events for job in finished)
+    return {(job.tenant, job.tenant_seq): job.events for job in finished}
+
+
+#: the same six submissions (3 per tenant), globally interleaved three
+#: different ways — batched, round-robin, and beta-first
+ARRIVALS = (
+    ["alpha", "alpha", "alpha", "beta", "beta", "beta"],
+    ["alpha", "beta", "alpha", "beta", "alpha", "beta"],
+    ["beta", "beta", "alpha", "alpha", "beta", "alpha"],
+)
+
+
+@pytest.mark.parametrize("seed", [7, 42])
+def test_serve_streams_independent_of_arrival_order(seed):
+    reference = _serve_session(seed, ARRIVALS[0])
+    assert len(reference) == 6
+    for order in ARRIVALS[1:]:
+        replay = _serve_session(seed, order)
+        assert replay.keys() == reference.keys()
+        for key in reference:
+            d1 = hashlib.sha256(reference[key].encode()).hexdigest()
+            d2 = hashlib.sha256(replay[key].encode()).hexdigest()
+            assert d1 == d2, \
+                f"job {key}: stream differs across arrival orders"
+            assert replay[key] == reference[key]
+
+
+def test_serve_different_session_seeds_differ():
+    a = _serve_session(7, list(ARRIVALS[1]))
+    b = _serve_session(8, list(ARRIVALS[1]))
+    assert any(a[key] != b[key] for key in a), \
+        "different session seeds produced identical per-job event streams"
+
+
+def test_serve_jobs_have_distinct_streams():
+    """Adjacent jobs of one session must not share a stream (the per-job
+    seed derivation actually differentiates them)."""
+    session = _serve_session(42, list(ARRIVALS[0]))
+    streams = list(session.values())
+    assert len(set(streams)) == len(streams)

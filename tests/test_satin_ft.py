@@ -93,6 +93,114 @@ def test_crash_node_delegates_preserve_public_behavior():
     assert cluster.node(1).crashed
 
 
+# --------------------------------------------------------------------------
+# idempotence of crash handling (regression: serve-layer churn and in-job
+# fault injection may both report the same dead node)
+# --------------------------------------------------------------------------
+
+
+def test_crash_node_twice_is_idempotent():
+    """A second crash_node for the same rank must not re-interrupt,
+    double-requeue orphans, double-increment counters or re-emit the
+    crash event."""
+    cluster = SimCluster(satin_cpu_cluster(4), obs_enabled=True)
+    runtime = SatinRuntime(
+        cluster, TreeSum(leaf_size=16, flops_per_item=1e7),
+        RuntimeConfig(seed=3))
+
+    def double_crash():
+        yield cluster.env.timeout(0.02)
+        runtime.crash_node(2)
+        runtime.crash_node(2)  # duplicate report (e.g. churn + membership)
+        yield cluster.env.timeout(0.005)
+        runtime.crash_node(2)  # late duplicate, after the notify latency
+
+    cluster.env.process(double_crash())
+    result = runtime.run((0, 2048))
+    assert result.result == expected_sum(2048)
+    crash_events = [ev for ev in cluster.obs.events if ev.kind == "crash"]
+    assert len(crash_events) == 1
+    # every orphan requeue is unique: no job id re-queued by the same crash
+    requeues = [ev.fields["job_id"] for ev in cluster.obs.events
+                if ev.kind == "orphan_requeue"]
+    assert len(requeues) == len(set(requeues))
+    assert result.stats.orphans_requeued == len(requeues)
+
+
+def test_fail_pending_to_twice_is_idempotent():
+    cluster, runtime = _runtime()
+    env = cluster.env
+    log = {}
+
+    def probe():
+        channel = runtime.comm.channel(0)
+        from repro.satin.comm import StealRequest
+        reply = yield from channel.request(
+            2, lambda rid: StealRequest(req_id=rid, thief=0), nbytes=64)
+        log["reply"] = reply
+
+    def failer():
+        yield env.timeout(1e-4)
+        log["first"] = runtime.comm.fail_pending_to(2)
+        log["second"] = runtime.comm.fail_pending_to(2)
+
+    env.process(failer())
+    env.run(until=env.process(probe()))
+    assert log["first"] == 1
+    assert log["second"] == 0  # second call finds nothing pending
+    assert log["reply"] is None
+    assert runtime.comm.pending_to(2) == 0
+
+
+def test_silent_crash_then_membership_notification_drains_pending():
+    """A silent crash followed by a later membership notification for the
+    same rank must still fail the pending requests (regression: the old
+    early-return skipped fail_pending_to entirely on the second call,
+    leaving the request pending forever when no reply timeout is set)."""
+    cluster, runtime = _runtime()  # no steal_reply_timeout_s configured
+    env = cluster.env
+    log = {}
+
+    def probe():
+        channel = runtime.comm.channel(0)
+        from repro.satin.comm import StealRequest
+        reply = yield from channel.request(
+            2, lambda rid: StealRequest(req_id=rid, thief=0), nbytes=64)
+        log["reply"] = reply
+
+    def crasher():
+        yield env.timeout(1e-4)
+        runtime.ft.crash_node(2, notify_comm=False)   # partition: silent
+        yield env.timeout(1e-3)
+        runtime.ft.crash_node(2, notify_comm=True)    # membership catches up
+
+    env.process(crasher())
+    env.run(until=env.process(probe()))
+    assert log == {"reply": None}
+    assert runtime.comm.pending_to(2) == 0
+
+
+def test_requests_opened_after_notification_fail_fast():
+    """Once the membership service reported a rank dead, a *new* request to
+    it resolves None immediately instead of hanging."""
+    cluster, runtime = _runtime()
+    env = cluster.env
+    log = {}
+
+    def probe():
+        yield env.timeout(1e-3)
+        runtime.comm.fail_pending_to(2)
+        from repro.satin.comm import StealRequest
+        channel = runtime.comm.channel(0)
+        reply = yield from channel.request(
+            2, lambda rid: StealRequest(req_id=rid, thief=0), nbytes=64)
+        log["reply"] = reply
+        log["pending"] = runtime.comm.pending_to(2)
+
+    env.run(until=env.process(probe()))
+    assert log == {"reply": None, "pending": 0}
+
+
 def test_orphans_requeued_at_origin_after_notify_latency():
     cluster = SimCluster(satin_cpu_cluster(4))
     runtime = SatinRuntime(

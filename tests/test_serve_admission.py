@@ -1,0 +1,236 @@
+"""Unit tests for the admission-control layer of `repro.serve`.
+
+Covers the policy registry integration (kind ``"admission"`` in the same
+unified `SchedulingPolicy` registry as steal/device policies), the
+weighted-fair-queueing arithmetic of ``fair-share``, the level semantics
+of ``strict-priority``, and the service-level backpressure reasons.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.policy import create_policy, policy_class, policy_names
+from repro.serve import (JobSpec, RetryLater, ServeConfig, Submitted,
+                         build_tenant, create_admission_policy)
+from repro.serve.admission import (AdmissionPolicy, FairShareAdmission,
+                                   StrictPriorityAdmission)
+from repro.serve.service import JobService
+from repro.serve.tenants import TenantConfig
+
+
+# ---------------------------------------------------------------------------
+# registry integration
+# ---------------------------------------------------------------------------
+
+def test_admission_policies_live_in_the_unified_registry():
+    names = policy_names("admission")
+    assert "fair-share" in names
+    assert "strict-priority" in names
+    assert policy_class("admission", "fair-share") is FairShareAdmission
+    assert isinstance(create_policy("admission", "strict-priority"),
+                      StrictPriorityAdmission)
+
+
+def test_unknown_admission_policy_raises_with_known_names():
+    with pytest.raises(ValueError, match="fair-share"):
+        create_admission_policy("no-such-policy")
+
+
+def test_admission_policy_kind_is_disjoint_from_steal_and_device():
+    import repro.satin  # noqa: F401  (registers steal policies)
+    with pytest.raises(ValueError):
+        policy_class("steal", "fair-share")
+    with pytest.raises(ValueError):
+        policy_class("admission", "random")
+
+
+# ---------------------------------------------------------------------------
+# fair-share (weighted fair queueing)
+# ---------------------------------------------------------------------------
+
+def _drive(policy: AdmissionPolicy, tenants, rounds: int):
+    """Admit ``rounds`` times from permanently-backlogged tenants."""
+    counts = {t.name: 0 for t in tenants}
+    for t in tenants:
+        t.queue.append(object())  # never drained: always backlogged
+    for _ in range(rounds):
+        chosen = policy.select(sorted(tenants, key=lambda t: t.name))
+        assert chosen is not None
+        counts[chosen.name] += 1
+        policy.on_admitted(chosen, cost=1.0)
+    return counts
+
+
+def test_fair_share_tracks_weights():
+    tenants = [build_tenant("a", weight=3.0), build_tenant("b", weight=2.0),
+               build_tenant("c", weight=1.0)]
+    counts = _drive(FairShareAdmission(), tenants, rounds=600)
+    assert counts["a"] == 300
+    assert counts["b"] == 200
+    assert counts["c"] == 100
+
+
+def test_fair_share_no_tenant_waits_longer_than_its_stride_bound():
+    """Starvation-freedom: an always-backlogged tenant is admitted at
+    least once every ceil(W / w) + 1 decisions."""
+    tenants = [build_tenant("a", weight=5.0), build_tenant("b", weight=1.0),
+               build_tenant("c", weight=2.0)]
+    total_w = sum(t.config.weight for t in tenants)
+    policy = FairShareAdmission()
+    for t in tenants:
+        t.queue.append(object())
+    last_seen = {t.name: 0 for t in tenants}
+    for i in range(1, 401):
+        chosen = policy.select(sorted(tenants, key=lambda t: t.name))
+        policy.on_admitted(chosen, cost=1.0)
+        gap = i - last_seen[chosen.name]
+        bound = int(total_w / chosen.config.weight) + 2
+        assert gap <= bound, (chosen.name, gap, bound)
+        last_seen[chosen.name] = i
+
+
+def test_fair_share_idle_tenant_banks_no_credit():
+    """A tenant that sat idle must not monopolize admissions when it
+    returns: its vtime is clamped up to the active floor."""
+    a, b = build_tenant("a"), build_tenant("b")
+    policy = FairShareAdmission()
+    a.queue.append(object())
+    # 50 admissions while b is idle
+    for _ in range(50):
+        policy.on_admitted(policy.select([a]), cost=1.0)
+    # b activates; without clamping it would win the next ~50 in a row
+    b.queue.append(object())
+    policy.on_backlogged(b, [a, b])
+    wins = _drive(policy, [a, b], rounds=20)
+    assert wins["b"] <= 11, wins  # fair alternation, not a monopoly
+
+
+def test_fair_share_select_is_deterministic_on_ties():
+    tenants = [build_tenant(n) for n in ("x", "m", "k")]
+    for t in tenants:
+        t.queue.append(object())
+    chosen = FairShareAdmission().select(tenants)
+    assert chosen.name == "k"  # equal vtimes tie-break on the name
+
+
+def test_fair_share_emits_unified_sched_decision_events():
+    from repro.obs.bus import EventBus
+    bus = EventBus(enabled=True)
+    policy = FairShareAdmission()
+    policy.bind(bus)
+    a = build_tenant("a")
+    a.queue.append(object())
+    policy.select([a])
+    [event] = bus.events
+    assert event.kind == "sched_decision"
+    assert event.fields["policy"] == "fair-share"
+    assert event.fields["scope"] == "admission"
+    assert event.fields["chosen"] == "a"
+
+
+# ---------------------------------------------------------------------------
+# strict priority
+# ---------------------------------------------------------------------------
+
+def test_strict_priority_higher_level_always_wins():
+    hi = build_tenant("hi", priority=2)
+    lo = build_tenant("lo", priority=0)
+    counts = _drive(StrictPriorityAdmission(), [hi, lo], rounds=40)
+    assert counts == {"hi": 40, "lo": 0}
+
+
+def test_strict_priority_fair_share_within_a_level():
+    a = build_tenant("a", weight=2.0, priority=1)
+    b = build_tenant("b", weight=1.0, priority=1)
+    lo = build_tenant("lo", weight=10.0, priority=0)
+    counts = _drive(StrictPriorityAdmission(), [a, b, lo], rounds=90)
+    assert counts["lo"] == 0
+    assert counts["a"] == 60 and counts["b"] == 30
+
+
+def test_strict_priority_serves_lower_level_when_high_is_ineligible():
+    hi = build_tenant("hi", priority=2)
+    lo = build_tenant("lo", priority=0)
+    lo.queue.append(object())
+    chosen = StrictPriorityAdmission().select([lo])  # hi not backlogged
+    assert chosen is lo
+
+
+# ---------------------------------------------------------------------------
+# service-level backpressure reasons
+# ---------------------------------------------------------------------------
+
+def _service(**tenant_kwargs) -> JobService:
+    config = ServeConfig(
+        nodes=2, max_queue_depth=6,
+        tenants=[TenantConfig(name="t", **tenant_kwargs)])
+    return JobService(config, clock=itertools.count(0).__next__)
+
+
+def test_submit_bounces_tenant_queue_full_then_quota():
+    service = _service(max_queued=2, max_in_flight=1)
+    spec = JobSpec(size=128, leaf=64, nodes=1)
+    assert isinstance(service.submit("t", spec), Submitted)
+    assert isinstance(service.submit("t", spec), Submitted)
+    # queue full, in-flight quota NOT hit yet -> tenant-queue-full
+    bounce = service.submit("t", spec)
+    assert isinstance(bounce, RetryLater)
+    assert bounce.reason == "tenant-queue-full"
+    # admit one (fills the in-flight quota); queue refills to its bound
+    service.dispatch()
+    assert isinstance(service.submit("t", spec), Submitted)
+    bounce = service.submit("t", spec)
+    assert isinstance(bounce, RetryLater)
+    assert bounce.reason == "tenant-quota"
+
+
+def test_submit_bounces_server_busy_at_the_global_ceiling():
+    config = ServeConfig(
+        nodes=2, max_queue_depth=3,
+        tenants=[TenantConfig(name="a", max_queued=8, max_in_flight=8),
+                 TenantConfig(name="b", max_queued=8, max_in_flight=8)])
+    service = JobService(config, clock=itertools.count(0).__next__)
+    spec = JobSpec(size=128, leaf=64, nodes=1)
+    for tenant in ("a", "b", "a"):
+        assert isinstance(service.submit(tenant, spec), Submitted)
+    bounce = service.submit("b", spec)
+    assert isinstance(bounce, RetryLater)
+    assert bounce.reason == "server-busy"
+
+
+def test_submit_bounces_draining():
+    service = _service()
+    service.start_drain()
+    bounce = service.submit("t", JobSpec(size=128))
+    assert isinstance(bounce, RetryLater)
+    assert bounce.reason == "draining"
+
+
+def test_retry_later_counts_in_accounting_and_metrics():
+    service = _service(max_queued=1, max_in_flight=1)
+    spec = JobSpec(size=128, nodes=1)
+    service.submit("t", spec)
+    service.submit("t", spec)  # bounced
+    tenant = service.tenants["t"]
+    assert tenant.submitted == 2 and tenant.rejected == 1
+    assert tenant.accounting_closed()
+    counter = service.registry.counter("serve_jobs_total")
+    assert counter.value(tenant="t", state="rejected") == 1
+    assert counter.value(tenant="t", state="queued") == 1
+
+
+def test_metrics_snapshot_reports_queue_wait_quantiles():
+    service = _service()
+    spec = JobSpec(size=128, nodes=1)
+    for _ in range(3):
+        service.submit("t", spec)
+    service.dispatch()
+    entry = service.registry.snapshot()[
+        "serve_queue_wait_seconds"]["values"]["tenant=t"]
+    assert entry["count"] >= 1
+    assert entry["p50"] is not None and entry["p99"] is not None
+    assert entry["min"] <= entry["p50"] <= entry["p99"] <= entry["max"]
+    assert entry["mean"] == pytest.approx(entry["sum"] / entry["count"])

@@ -1,0 +1,223 @@
+"""Property-based tests (hypothesis) for the multi-tenant job service.
+
+The property families come straight from the serve design contract:
+
+* **closed accounting** — under any interleaving of submits, dispatches,
+  finishes and cancels, every tenant's books balance after every single
+  operation (``submitted == rejected + queued + in_flight + terminal``),
+* **quota safety** — no tenant ever exceeds ``max_in_flight`` and the pool
+  never over-leases,
+* **liveness** — after a drain loop every accepted job reaches a terminal
+  state: nothing is ever lost,
+* **no starvation** — under fair-share admission with arbitrary weights,
+  a permanently backlogged tenant is admitted at least once every
+  ``ceil(W / w) + N`` contested decisions: the stride bound ``W / w``
+  plus one extra service per competitor for simultaneous-activation
+  vtime ties (every tenant starts at the same virtual time, so the
+  first round is served in name order regardless of weight).
+
+The service core is synchronous and deterministic, so the suite drives it
+directly with a fake clock and finishes jobs by hand (no simulations) —
+thousands of randomized lifecycles per second.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - hypothesis is in the CI image
+    pytest.skip("hypothesis not installed", allow_module_level=True)
+
+from repro.serve import (FairShareAdmission, JobSpec, RetryLater, ServeConfig,
+                         Submitted, build_tenant)
+from repro.serve.jobs import expected_result
+from repro.serve.service import JobService
+from repro.serve.tenants import TenantConfig
+
+TENANT_NAMES = ("alpha", "beta", "gamma", "delta")
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+tenant_configs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.5, max_value=8.0,
+                  allow_nan=False, allow_infinity=False),  # weight
+        st.integers(min_value=1, max_value=4),             # max_queued
+        st.integers(min_value=1, max_value=3),             # max_in_flight
+    ),
+    min_size=2, max_size=4,
+).map(lambda rows: [
+    TenantConfig(name=TENANT_NAMES[i], weight=w,
+                 max_queued=q, max_in_flight=f)
+    for i, (w, q, f) in enumerate(rows)])
+
+# one op: (kind, selector).  The selector indexes into whatever population
+# the op acts on (tenants for submit, outstanding jobs for finish/cancel).
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["submit", "submit", "submit",  # submit-heavy mix
+                         "dispatch", "finish", "cancel"]),
+        st.integers(min_value=0, max_value=63)),
+    min_size=1, max_size=80)
+
+
+def _make_service(configs, nodes=3):
+    return JobService(
+        ServeConfig(nodes=nodes, max_queue_depth=16, tenants=configs),
+        clock=itertools.count(0).__next__)
+
+
+def _check_invariants(service):
+    assert service.accounting_closed(), service.accounting()
+    for tenant in service.tenants.values():
+        assert 0 <= tenant.in_flight <= tenant.config.max_in_flight
+        assert len(tenant.queue) <= tenant.config.max_queued
+    assert service.lost_jobs() == []
+    leased = sum(1 for n in service.pool.nodes if n.job_id is not None)
+    assert leased <= len(service.pool.nodes)
+
+
+def _finish_ok(service, job):
+    service.finish(job, result=expected_result(job.spec))
+
+
+# ---------------------------------------------------------------------------
+# closed accounting + quota safety under arbitrary interleavings
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(configs=tenant_configs, op_list=ops)
+def test_accounting_closed_after_every_operation(configs, op_list):
+    service = _make_service(configs)
+    names = [tc.name for tc in configs]
+    outstanding = []  # admitted-but-unfinished jobs
+    for kind, sel in op_list:
+        if kind == "submit":
+            resp = service.submit(names[sel % len(names)],
+                                  JobSpec(size=64, leaf=32, nodes=1))
+            assert isinstance(resp, (Submitted, RetryLater))
+        elif kind == "dispatch":
+            outstanding.extend(service.dispatch())
+        elif kind == "finish" and outstanding:
+            _finish_ok(service, outstanding.pop(sel % len(outstanding)))
+        elif kind == "cancel" and service.jobs:
+            ids = sorted(service.jobs)
+            service.cancel(ids[sel % len(ids)])
+            outstanding = [j for j in outstanding if not j.terminal]
+        _check_invariants(service)
+
+
+@settings(max_examples=40, deadline=None)
+@given(configs=tenant_configs, op_list=ops)
+def test_every_accepted_job_reaches_a_terminal_state(configs, op_list):
+    service = _make_service(configs)
+    names = [tc.name for tc in configs]
+    accepted = 0
+    outstanding = []
+    for kind, sel in op_list:
+        if kind == "submit":
+            if isinstance(service.submit(names[sel % len(names)],
+                                         JobSpec(size=64, nodes=1)),
+                          Submitted):
+                accepted += 1
+        elif kind == "dispatch":
+            outstanding.extend(service.dispatch())
+        elif kind == "finish" and outstanding:
+            _finish_ok(service, outstanding.pop(sel % len(outstanding)))
+    # drain: keep dispatching and finishing until quiescent
+    service.start_drain()
+    for _ in range(accepted + 1):
+        if service.quiescent:
+            break
+        outstanding.extend(service.dispatch())
+        while outstanding:
+            _finish_ok(service, outstanding.pop())
+    assert service.quiescent
+    assert service.lost_jobs() == []
+    terminal = sum(1 for j in service.jobs.values() if j.terminal)
+    assert terminal == accepted == len(service.jobs)
+    # per-tenant books sum exactly to the submissions
+    for tenant in service.tenants.values():
+        assert tenant.submitted == tenant.rejected + tenant.terminal
+    # and the drain refused new work, typed
+    late = service.submit(names[0], JobSpec(size=64))
+    assert isinstance(late, RetryLater) and late.reason == "draining"
+
+
+@settings(max_examples=40, deadline=None)
+@given(configs=tenant_configs,
+       burst=st.integers(min_value=1, max_value=40))
+def test_backpressure_is_typed_never_exceptional(configs, burst):
+    service = _make_service(configs, nodes=2)
+    name = configs[0].name
+    responses = [service.submit(name, JobSpec(size=64, nodes=1))
+                 for _ in range(burst)]
+    assert all(isinstance(r, (Submitted, RetryLater)) for r in responses)
+    bounced = [r for r in responses if isinstance(r, RetryLater)]
+    cfg = configs[0]
+    over = burst - cfg.max_queued
+    assert len(bounced) == max(0, over)
+    assert all(r.retry_after_s > 0 for r in bounced)
+    _check_invariants(service)
+
+
+# ---------------------------------------------------------------------------
+# fair-share never starves a backlogged tenant (stride bound)
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(weights=st.lists(
+    st.floats(min_value=0.25, max_value=16.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=2, max_size=4),
+    rounds=st.integers(min_value=10, max_value=300))
+def test_fair_share_never_starves_a_backlogged_tenant(weights, rounds):
+    tenants = [build_tenant(TENANT_NAMES[i], weight=w)
+               for i, w in enumerate(weights)]
+    total_w = sum(weights)
+    policy = FairShareAdmission()
+    for t in tenants:
+        t.queue.append(object())  # permanently backlogged
+    last_seen = {t.name: 0 for t in tenants}
+    for i in range(1, rounds + 1):
+        chosen = policy.select(sorted(tenants, key=lambda t: t.name))
+        policy.on_admitted(chosen, cost=1.0)
+        bound = math.ceil(total_w / chosen.config.weight) + len(tenants)
+        assert i - last_seen[chosen.name] <= bound, (
+            chosen.name, i - last_seen[chosen.name], bound)
+        last_seen[chosen.name] = i
+
+
+@settings(max_examples=30, deadline=None)
+@given(weights=st.lists(
+    st.floats(min_value=0.5, max_value=8.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=2, max_size=3))
+def test_fair_share_long_run_shares_approach_entitlement(weights):
+    tenants = [build_tenant(TENANT_NAMES[i], weight=w)
+               for i, w in enumerate(weights)]
+    policy = FairShareAdmission()
+    for t in tenants:
+        t.queue.append(object())
+    counts = {t.name: 0 for t in tenants}
+    rounds = 800
+    for _ in range(rounds):
+        chosen = policy.select(sorted(tenants, key=lambda t: t.name))
+        counts[chosen.name] += 1
+        policy.on_admitted(chosen, cost=1.0)
+    total_w = sum(weights)
+    for t in tenants:
+        share = counts[t.name] / rounds
+        entitlement = t.config.weight / total_w
+        # each tenant is within one maximal-job slack of its entitlement
+        assert abs(share - entitlement) <= (1.0 / rounds) * (
+            int(total_w / t.config.weight) + 2)

@@ -1,0 +1,241 @@
+"""Scenario tests for the multi-tenant job service (`repro.serve`).
+
+Each test drives a full serve session through the asyncio front-end — real
+concurrent clients, the sliced simulation executor, typed backpressure —
+and asserts on the scenario report:
+
+* tenant burst: hundreds of concurrent submissions, zero lost jobs, fair
+  shares within tolerance of the weighted entitlement,
+* chaos: pool nodes killed while multi-node jobs run on them — recovery is
+  Satin's orphan re-execution and the results stay *correct*,
+* graceful drain: accepted work finishes, new work bounces typed,
+* quota exhaustion: over-limit bursts get ``RetryLater``, never exceptions,
+* the NDJSON socket protocol round-trips the same typed responses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve import JobSpec, RetryLater, SocketClient, Submitted
+from repro.serve.scenarios import (burst_server, churn_mid_job,
+                                   graceful_drain, quota_exhaustion,
+                                   run_demo, tenant_burst)
+
+BACKPRESSURE_REASONS = {"tenant-queue-full", "tenant-quota",
+                        "server-busy", "draining"}
+
+
+# ---------------------------------------------------------------------------
+# tenant burst
+# ---------------------------------------------------------------------------
+
+def test_tenant_burst_fair_share_under_load():
+    report = asyncio.run(tenant_burst(
+        burst_server(seed=5), clients=45,
+        spec=JobSpec(size=256, leaf=64, nodes=2)))
+    assert report["completed_ok"] == 45, report["results"]
+    assert report["lost_jobs"] == []
+    assert report["accounting_closed"]
+    fair = report["fairness"]
+    assert fair["contested_decisions"] > 0
+    assert fair["max_abs_delta"] <= 0.10, fair
+    # the weighted tenants were actually differentiated
+    assert fair["shares"]["alpha"] > fair["shares"]["gamma"]
+    wait = report["queue_wait_s"]
+    assert wait["count"] == 45 and wait["p99"] is not None
+
+
+def test_burst_backpressure_is_typed_and_retried():
+    # tiny queues force RetryLater on the way in; every client still
+    # completes because the polite retry loop resubmits
+    report = asyncio.run(tenant_burst(
+        burst_server(seed=9, nodes=4, max_queued=2, max_in_flight=2),
+        clients=30, spec=JobSpec(size=128, leaf=32, nodes=1)))
+    assert report["completed_ok"] == 30
+    assert report["retries_total"] > 0
+    assert report["lost_jobs"] == []
+    assert report["accounting_closed"]
+
+
+# ---------------------------------------------------------------------------
+# chaos: node crash mid-job
+# ---------------------------------------------------------------------------
+
+def test_node_crash_mid_job_recovers_via_orphan_requeue():
+    report = asyncio.run(churn_mid_job())
+    assert report["results_ok"], report["jobs"]
+    assert report["hit_running_job"], report["crash_hits"]
+    assert report["orphans_requeued_total"] > 0
+    assert report["lost_jobs"] == []
+    assert report["accounting_closed"]
+    assert len(report["dead_nodes"]) == len(report["crash_hits"])
+
+
+def test_crash_during_burst_all_jobs_complete():
+    report = asyncio.run(tenant_burst(
+        burst_server(seed=3), clients=24,
+        spec=JobSpec(size=512, leaf=64, nodes=2), crash_after=3))
+    assert report["completed_ok"] == 24
+    assert report["lost_jobs"] == []
+    crash = report["crash"]
+    if crash.get("job_id") is not None:
+        assert crash["job_state"] == "done", crash
+
+
+# ---------------------------------------------------------------------------
+# graceful drain
+# ---------------------------------------------------------------------------
+
+def test_graceful_drain_finishes_accepted_work():
+    report = asyncio.run(graceful_drain())
+    assert report["queued_at_drain"] > 0
+    assert report["all_terminal"], report["terminal_states"]
+    assert report["terminal_states"].count("done") == \
+        len(report["terminal_states"])
+    assert report["late_is_retry_later"], report["late_response"]
+    assert report["late_reason"] == "draining"
+    assert report["lost_jobs"] == []
+    assert report["accounting_closed"]
+
+
+# ---------------------------------------------------------------------------
+# quota exhaustion
+# ---------------------------------------------------------------------------
+
+def test_quota_exhaustion_returns_retry_later_not_exception():
+    report = asyncio.run(quota_exhaustion())
+    assert report["bounced"] > 0
+    assert report["all_typed"], "over-quota submissions must return typed " \
+        "responses, never raise"
+    assert set(report["reasons"]) <= BACKPRESSURE_REASONS
+    assert report["rejected_counter"] == report["bounced"]
+    assert report["accounting_closed"]
+    acc = report["accounting"]["tiny"]
+    assert acc["submitted"] == report["burst"]
+    assert acc["rejected"] == report["bounced"]
+    assert acc["done"] == report["accepted"]
+
+
+# ---------------------------------------------------------------------------
+# the acceptance demo (reduced scale; CI runs the full 200)
+# ---------------------------------------------------------------------------
+
+def test_demo_reduced_scale_passes():
+    report = asyncio.run(run_demo(clients=36, nodes=6))
+    assert report["passed"], {
+        "ok": report["completed_ok"], "lost": report["lost_jobs"],
+        "fairness": report["fairness"], "crash": report["crash"]}
+
+
+# ---------------------------------------------------------------------------
+# NDJSON socket protocol
+# ---------------------------------------------------------------------------
+
+def test_socket_protocol_round_trip():
+    async def scenario():
+        server = burst_server(seed=21)
+        try:
+            host, port = await server.start_socket("127.0.0.1", 0)
+        except OSError as exc:  # pragma: no cover - sandboxed environments
+            pytest.skip(f"cannot bind a local socket: {exc}")
+        client = await SocketClient(host, port).connect()
+        try:
+            sub = await client.request_typed(
+                {"op": "submit", "tenant": "alpha", "size": 128,
+                 "leaf": 32, "nodes": 1, "trace": True, "tag": "s0"})
+            assert isinstance(sub, Submitted) and sub.tag == "s0"
+            report = await client.request_typed(
+                {"op": "wait", "job_id": sub.job_id})
+            assert report.state == "done"
+            assert report.result == 128 * 127 // 2
+            trace = await client.request(
+                {"op": "trace", "job_id": sub.job_id})
+            assert trace["ok"] and trace["trace"]["traceEvents"]
+            metrics = await client.request({"op": "metrics"})
+            assert metrics["accounting"]["alpha"]["done"] == 1
+            assert "serve_jobs_total" in metrics["metrics"]
+            bad = await client.request({"op": "no-such-op"})
+            assert bad["ok"] is False and bad["type"] == "error"
+            drained = await client.request({"op": "drain"})
+            assert drained["type"] == "drained"
+            late = await client.request_typed(
+                {"op": "submit", "tenant": "alpha", "size": 128})
+            assert isinstance(late, RetryLater)
+            assert late.reason == "draining"
+        finally:
+            await client.close()
+            await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_socket_protocol_frames_large_trace_responses():
+    """A traced multi-node job's Chrome trace is one NDJSON line well past
+    asyncio's 64 KiB default StreamReader limit; both stream directions
+    must be configured to frame it (regression: LimitOverrunError)."""
+    async def scenario():
+        server = burst_server(seed=27, nodes=6)
+        try:
+            host, port = await server.start_socket("127.0.0.1", 0)
+        except OSError as exc:  # pragma: no cover - sandboxed environments
+            pytest.skip(f"cannot bind a local socket: {exc}")
+        client = await SocketClient(host, port).connect()
+        try:
+            sub = await client.request_typed(
+                {"op": "submit", "tenant": "alpha", "size": 16384,
+                 "leaf": 32, "nodes": 3, "trace": True})
+            assert isinstance(sub, Submitted)
+            report = await client.request_typed(
+                {"op": "wait", "job_id": sub.job_id})
+            assert report.state == "done"
+            assert report.result == 16384 * 16383 // 2
+            trace = await client.request({"op": "trace", "job_id": sub.job_id})
+            line = len(__import__("json").dumps(trace))
+            assert line > 64 * 1024, \
+                f"trace line only {line}B; not exercising the limit"
+            assert trace["ok"] and trace["trace"]["traceEvents"]
+        finally:
+            await client.close()
+            await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_socket_protocol_many_concurrent_clients():
+    async def scenario():
+        server = burst_server(seed=23, nodes=6)
+        try:
+            host, port = await server.start_socket("127.0.0.1", 0)
+        except OSError as exc:  # pragma: no cover - sandboxed environments
+            pytest.skip(f"cannot bind a local socket: {exc}")
+
+        async def one_client(i: int) -> int:
+            tenant = ["alpha", "beta", "gamma"][i % 3]
+            client = await SocketClient(host, port).connect()
+            try:
+                while True:
+                    resp = await client.request_typed(
+                        {"op": "submit", "tenant": tenant, "size": 128,
+                         "leaf": 32, "nodes": 1, "tag": f"c{i}"})
+                    if isinstance(resp, Submitted):
+                        break
+                    assert isinstance(resp, RetryLater)
+                    await asyncio.sleep(min(resp.retry_after_s, 0.005))
+                report = await client.request_typed(
+                    {"op": "wait", "job_id": resp.job_id})
+                return 1 if report.state == "done" else 0
+            finally:
+                await client.close()
+
+        try:
+            done = await asyncio.gather(*(one_client(i) for i in range(30)))
+            assert sum(done) == 30
+            assert server.service.lost_jobs() == []
+            assert server.service.accounting_closed()
+        finally:
+            await server.close()
+
+    asyncio.run(scenario())
