@@ -119,6 +119,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     lint_p.add_argument("--errors-only", action="store_true",
                         help="hide warning-severity findings")
 
+    analyze_p = sub.add_parser(
+        "analyze", help="determinism sanitizer: REP1xx static lints over "
+                        "the runtime source, and/or a happens-before "
+                        "shared-object race check (see docs/analyze.md)")
+    analyze_p.add_argument("--static", action="store_true",
+                           help="run the static AST pass over the "
+                                "installed repro package")
+    analyze_p.add_argument("--races", default=None, metavar="APP",
+                           help="run APP with the race sanitizer attached "
+                                "(kmeans, matmul, nbody, raytracer, "
+                                "race-demo, race-demo-synced)")
+    analyze_p.add_argument("--all", action="store_true", dest="all_checks",
+                           help="static pass + race-sanitized run of every "
+                                "builtin application")
+    analyze_p.add_argument("--json", action="store_true", dest="as_json",
+                           help="machine-readable JSON output")
+    analyze_p.add_argument("--root", type=pathlib.Path, default=None,
+                           help="directory tree for the static pass "
+                                "(default: the installed repro package)")
+    analyze_p.add_argument("--baseline", type=pathlib.Path, default=None,
+                           help="baseline file of accepted findings "
+                                "(default: the checked-in baseline)")
+    analyze_p.add_argument("--write-baseline", action="store_true",
+                           help="regenerate the baseline from the current "
+                                "static findings instead of failing")
+    analyze_p.add_argument("--seed", type=int, default=42,
+                           help="seed for the race-sanitized run "
+                                "(default: 42)")
+
     serve_p = sub.add_parser(
         "serve", help="multi-tenant job service over the simulated "
                       "cluster (NDJSON socket protocol, or --demo)")
@@ -159,6 +188,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return lint_main(args.targets, all_apps=args.all_apps,
                          as_json=args.as_json,
                          errors_only=args.errors_only)
+
+    if args.command == "analyze":
+        from .analyze.cli import analyze_main
+        return analyze_main(static=args.static, races=args.races,
+                            all_checks=args.all_checks,
+                            as_json=args.as_json, root=args.root,
+                            baseline_path=args.baseline,
+                            write_baseline=args.write_baseline,
+                            seed=args.seed)
 
     if args.command == "serve":
         from .core.policy import policy_class as _policy_class

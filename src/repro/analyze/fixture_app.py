@@ -1,0 +1,107 @@
+"""Seeded shared-object race fixture for the happens-before sanitizer.
+
+A deliberately tiny Satin program with two variants:
+
+* **racy** (default) — the master divides one task into two spawned
+  sibling jobs; each increments the same shared object.  The siblings
+  have no sync edge between them, so their broadcast writes land in a
+  steal-schedule-dependent order: a textbook shared-object data race the
+  sanitizer must report as exactly one write/write ``REP201``.
+* **synced** — the same two increments, but each runs in its own
+  spawn+sync round of the master program.  The sync edge orders round 1
+  before round 2, so the sanitizer must stay silent.
+
+The fixture backs both the regression test (``tests/test_analyze_races.py``)
+and the CLI demonstration (``python -m repro analyze --races race-demo``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Sequence
+
+from ..cluster.das4 import ClusterConfig, SimCluster
+from ..satin.job import DivideConquerApp, LeafContext
+from ..satin.runtime import RuntimeConfig, SatinRuntime
+from ..satin.shared_objects import SharedObject
+
+__all__ = ["SharedCounterApp", "run_fixture"]
+
+
+def _increment(replica: int, amount: int) -> int:
+    """The shared object's write method (deterministic, runs per replica)."""
+    return replica + amount
+
+
+class SharedCounterApp(DivideConquerApp):
+    """Two jobs incrementing one shared counter, with or without a sync
+    edge between them."""
+
+    name = "race-fixture"
+
+    def __init__(self, synced: bool = False):
+        self.synced = synced
+
+    # -- program -----------------------------------------------------------
+    def program(self, runtime: Any, master: Any, root_task: Any) -> Generator:
+        counter = SharedObject(runtime, "counter", 0)
+        if self.synced:
+            # One spawn+sync round per increment: round 0's write
+            # happens-before round 1's job via the sync edge.
+            for i in range(2):
+                yield from runtime.run_subtask(master, ("round", i))
+        else:
+            # Both increments as concurrent sibling jobs: racy.
+            yield from runtime.run_subtask(master, ("fanout",))
+        return counter.value(master.rank)
+
+    # -- structure ---------------------------------------------------------
+    def is_leaf(self, task: Any) -> bool:
+        return task[0] == "write"
+
+    def divide(self, task: Any) -> Sequence[Any]:
+        if task[0] == "fanout":
+            return [("write", 0), ("write", 1)]
+        return [("write", task[1])]
+
+    def combine(self, task: Any, results: List[Any]) -> Any:
+        return results
+
+    # -- costs -------------------------------------------------------------
+    def task_bytes(self, task: Any) -> float:
+        return 64.0
+
+    def result_bytes(self, task: Any) -> float:
+        return 8.0
+
+    def leaf_flops(self, task: Any) -> float:
+        return 1e6
+
+    # -- leaf --------------------------------------------------------------
+    def leaf(self, task: Any, ctx: LeafContext) -> Generator:
+        counter = ctx.runtime.shared_object("counter")
+        yield from ctx.node.cpu_compute(self.leaf_flops(task),
+                                        label="fixture-leaf")
+        yield from counter.invoke(ctx.rank, _increment, 1, nbytes=8.0,
+                                  task=ctx.task_id)
+        # No read-back here: the fixture's expected verdict is exactly one
+        # write/write race between the sibling jobs (a read would add
+        # read/write pairs against the sibling's broadcast write).
+        return task[1] if len(task) > 1 else None
+
+
+def run_fixture(synced: bool = False, seed: int = 42,
+                detect_races: bool = True, obs: bool = False):
+    """Run the fixture on a two-node CPU cluster; returns the runtime.
+
+    ``runtime.race_detector.reports`` holds the sanitizer's verdict:
+    exactly one write/write race on ``"counter"`` for the racy variant,
+    empty for the synced one.
+    """
+    cluster_config = ClusterConfig(name="race-fixture-2", nodes=[(), ()])
+    cluster = SimCluster(cluster_config, obs_enabled=obs)
+    app = SharedCounterApp(synced=synced)
+    runtime = SatinRuntime(
+        cluster, app,
+        RuntimeConfig(seed=seed, detect_races=detect_races))
+    runtime.run(("root",))
+    return runtime

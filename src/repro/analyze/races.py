@@ -1,0 +1,254 @@
+"""The dynamic prong of the determinism sanitizer: happens-before races.
+
+Satin's shared objects (Sec. II-A of the paper) relax the pure
+divide-and-conquer model: write methods broadcast asynchronously with *no
+global ordering* — the application chooses the consistency it needs.  That
+freedom admits real data races between concurrently-executing spawned
+jobs: two siblings updating one shared object without a sync edge between
+them produce replica states that depend on the (seed-dependent) steal
+schedule.
+
+This module detects such races with the classic vector-clock
+happens-before algorithm, specialized to the divide-and-conquer task
+model:
+
+* every *task* (the root program, or one spawned :class:`~repro.satin.job.Job`)
+  carries a :class:`VectorClock`;
+* **spawn** forks the parent's clock into the child (the child
+  happens-after everything the parent did before the spawn);
+* **sync** joins all child clocks back into the parent (the parent's
+  continuation happens-after every child) — this is where the
+  result-return edge is realized, regardless of which node the child was
+  stolen to: a stolen job keeps its clock, so **steal** edges are
+  identity merges;
+* a satisfied **guard** joins the satisfying writer's clock into the
+  waiting task (the guarded read happens-after the write it waited for).
+
+Reads (:meth:`SharedObject.value`) and writes (:meth:`SharedObject.invoke`)
+are recorded per shared object; two accesses *conflict* when they come
+from different tasks, at least one is a write, and their replica ranks
+overlap (a broadcast write touches every rank).  A conflict whose clocks
+are mutually unordered is reported as a structured :class:`RaceReport`
+(rule code ``REP201``).
+
+The detector is flag-gated (``CashmereConfig(detect_races=True)``) and
+follows the :mod:`repro.obs` zero-overhead discipline: every
+instrumentation site guards on the detector being attached, and the
+detector mirrors its happens-before edges and verdicts onto the obs event
+bus (kinds ``hb_spawn``/``hb_sync``/``hb_guard``/``shared_access``/``race``)
+when the bus is enabled — with ``detect_races=False`` nothing is built,
+recorded or emitted, and seeded event streams stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .findings import Finding
+
+__all__ = ["VectorClock", "Access", "RaceReport", "RaceDetector"]
+
+
+class VectorClock:
+    """A sparse vector clock over task ids."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, items: Optional[Dict[int, int]] = None):
+        self._c: Dict[int, int] = dict(items) if items else {}
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._c)
+
+    def tick(self, task: int) -> None:
+        self._c[task] = self._c.get(task, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        c = self._c
+        for task, count in other._c.items():
+            if count > c.get(task, 0):
+                c[task] = count
+        return None
+
+    def leq(self, other: "VectorClock") -> bool:
+        """Componentwise ``self <= other`` (happens-before or equal)."""
+        oc = other._c
+        return all(count <= oc.get(task, 0)
+                   for task, count in self._c.items())
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        return not self.leq(other) and not other.leq(self)
+
+    def as_dict(self) -> Dict[int, int]:
+        return dict(self._c)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{t}:{n}" for t, n in sorted(self._c.items()))
+        return f"<VC {{{inner}}}>"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One recorded shared-object access with its clock snapshot.
+
+    ``rank`` is the replica the access touched, or ``None`` for a
+    broadcast write that touches every replica.  ``task`` is the job id,
+    or :data:`RaceDetector.ROOT` for the master program.
+    """
+
+    task: int
+    kind: str                    #: "read" or "write"
+    rank: Optional[int]
+    clock: VectorClock
+    site: Optional[str] = None   #: free-form label of the access site
+
+    def describe(self) -> str:
+        who = "root program" if self.task == RaceDetector.ROOT \
+            else f"job {self.task}"
+        where = "all replicas" if self.rank is None \
+            else f"replica of node {self.rank}"
+        return f"{self.kind} by {who} on {where}"
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """Two conflicting accesses unordered by happens-before."""
+
+    obj: str
+    first: Access
+    second: Access
+
+    def to_finding(self) -> Finding:
+        return Finding(
+            code="REP201",
+            line=0,
+            message=(f"data race on shared object {self.obj!r}: "
+                     f"{self.first.describe()} is concurrent with "
+                     f"{self.second.describe()}"),
+            hint="order the accesses with a sync (or a guard on the "
+                 "written state) between the conflicting jobs",
+            origin=f"shared-object:{self.obj}",
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "obj": self.obj,
+            "first": {"task": self.first.task, "kind": self.first.kind,
+                      "rank": self.first.rank,
+                      "clock": {str(k): v for k, v
+                                in sorted(self.first.clock.as_dict().items())}},
+            "second": {"task": self.second.task, "kind": self.second.kind,
+                       "rank": self.second.rank,
+                       "clock": {str(k): v for k, v
+                                 in sorted(self.second.clock.as_dict().items())}},
+        }
+
+
+class RaceDetector:
+    """Vector-clock happens-before race detection over shared objects.
+
+    Attached by the runtime when ``RuntimeConfig.detect_races`` is set;
+    ``runtime`` may be ``None`` for standalone/unit use (no obs
+    mirroring).  The detector performs *no* simulation interaction: with
+    the flag on, schedules and results are identical — only bookkeeping
+    is added.
+    """
+
+    #: synthetic task id of the master program (everything outside jobs)
+    ROOT = -1
+
+    def __init__(self, runtime: Any = None):
+        self.runtime = runtime
+        self._clocks: Dict[int, VectorClock] = {
+            self.ROOT: VectorClock({self.ROOT: 1})}
+        #: latest access per (task, kind, rank) per object — enough to
+        #: find every racing *pair of tasks* without unbounded history
+        self._accesses: Dict[str, Dict[Tuple[int, str, Optional[int]],
+                                       Access]] = {}
+        self.reports: List[RaceReport] = []
+        self._reported: Set[Tuple[str, FrozenSet[Tuple[int, str]],
+                                  Tuple[Optional[int], Optional[int]]]] = set()
+
+    # -- obs mirroring ------------------------------------------------------
+    def _emit(self, kind: str, **fields: Any) -> None:
+        if self.runtime is None:
+            return
+        obs = getattr(self.runtime, "obs", None)
+        if obs is not None and obs.enabled:
+            obs.emit(kind, **fields)
+
+    # -- clocks -------------------------------------------------------------
+    def clock(self, task: int) -> VectorClock:
+        c = self._clocks.get(task)
+        if c is None:
+            c = self._clocks[task] = VectorClock({task: 1})
+        return c
+
+    def on_spawn(self, parent: int, child: int) -> None:
+        """Fork: the child happens-after the parent's past."""
+        pc = self.clock(parent)
+        pc.tick(parent)
+        child_clock = pc.copy()
+        child_clock.tick(child)
+        self._clocks[child] = child_clock
+        self._emit("hb_spawn", parent=parent, child=child)
+
+    def on_sync(self, parent: int, children: List[int]) -> None:
+        """Join: the parent's continuation happens-after every child."""
+        pc = self.clock(parent)
+        for child in children:
+            pc.join(self.clock(child))
+        pc.tick(parent)
+        self._emit("hb_sync", parent=parent, children=list(children))
+
+    def on_guard(self, waiter: int, writer: int) -> None:
+        """A guard fired: the waiter happens-after the satisfying write."""
+        wc = self.clock(waiter)
+        wc.join(self.clock(writer))
+        wc.tick(waiter)
+        self._emit("hb_guard", waiter=waiter, writer=writer)
+
+    # -- accesses -----------------------------------------------------------
+    def on_access(self, task: Optional[int], obj: str, kind: str,
+                  rank: Optional[int] = None,
+                  site: Optional[str] = None) -> None:
+        """Record a shared-object access and check it against history."""
+        if task is None:
+            task = self.ROOT
+        access = Access(task=task, kind=kind, rank=rank,
+                        clock=self.clock(task).copy(), site=site)
+        per = self._accesses.setdefault(obj, {})
+        for (other_task, other_kind, other_rank), other in per.items():
+            if other_task == task:
+                continue                      # program order within a task
+            if kind == "read" and other_kind == "read":
+                continue                      # read/read never conflicts
+            if rank is not None and other_rank is not None \
+                    and rank != other_rank:
+                continue                      # disjoint replicas
+            if access.clock.concurrent_with(other.clock):
+                self._report(obj, other, access)
+        per[(task, kind, rank)] = access
+        # field named "access", not "kind": EventBus.emit reserves "kind"
+        self._emit("shared_access", obj=obj, task=task, access=kind,
+                   rank=rank)
+
+    def _report(self, obj: str, first: Access, second: Access) -> None:
+        key = (obj,
+               frozenset([(first.task, first.kind),
+                          (second.task, second.kind)]),
+               tuple(sorted((first.rank, second.rank),
+                            key=lambda r: (-1 if r is None else r))))
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        report = RaceReport(obj=obj, first=first, second=second)
+        self.reports.append(report)
+        self._emit("race", obj=obj,
+                   first_task=first.task, first_kind=first.kind,
+                   second_task=second.task, second_kind=second.kind)
+
+    # -- results ------------------------------------------------------------
+    def findings(self) -> List[Finding]:
+        return [r.to_finding() for r in self.reports]

@@ -184,14 +184,15 @@ class CashmereRuntime(SatinRuntime):
     # ------------------------------------------------------------------
     # leaf execution on devices
     # ------------------------------------------------------------------
-    def _execute_leaf(self, node: ComputeNode, task: Any) -> Generator:
+    def _execute_leaf(self, node: ComputeNode, task: Any,
+                      task_id: int = -1) -> Generator:
         if not node.devices:
-            result = yield from super()._execute_leaf(node, task)
+            result = yield from super()._execute_leaf(node, task, task_id)
             return result
         try:
             kernel_name = self.app.leaf_kernel_name(task)
         except NotImplementedError:
-            result = yield from super()._execute_leaf(node, task)
+            result = yield from super()._execute_leaf(node, task, task_id)
             return result
         try:
             result = yield from self._launch_leaf_kernel(node, task, kernel_name)
@@ -199,7 +200,7 @@ class CashmereRuntime(SatinRuntime):
         except (KernelLaunchError, MemoryError):
             # Fig. 4: catch -> leafCPU(a, b)
             self.stats.count_cpu_fallback()
-            result = yield from super()._execute_leaf(node, task)
+            result = yield from super()._execute_leaf(node, task, task_id)
             return result
 
     def _launch_leaf_kernel(self, node: ComputeNode, task: Any,

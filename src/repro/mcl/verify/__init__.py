@@ -69,7 +69,7 @@ def verify_kernel(info: KernelInfo,
     findings.extend(check_params(info))
     findings.extend(check_memory(info))
     tag = f"{info.kernel.name}@{info.kernel.level}"
-    findings = [replace(f, kernel=tag) if f.kernel is None else f
+    findings = [replace(f, origin=tag) if f.origin is None else f
                 for f in findings]
     if source is not None:
         findings = filter_suppressed(findings, scan_suppressions(source))

@@ -1,12 +1,18 @@
 """Findings: the verifier's diagnostic model and renderers.
 
-Every rule the verifier can fire has a *stable code* (``MCL101`` etc.), a
-default severity, and a one-line description.  Analyses produce
-:class:`Finding` records; the orchestrator filters them against inline
-``// lint: ignore[CODE]`` suppressions scanned from the **raw** kernel
-source (the lexer strips comments, so suppression handling must happen on
-the text, not the token stream) and renders them as human-readable text or
-machine-readable JSON.
+The generic machinery — :class:`Finding`, the shared rule registry,
+suppression scanning and the text/JSON renderers — lives in
+:mod:`repro.analyze.findings` and is shared with the whole-runtime
+determinism sanitizer (``repro analyze``).  This module registers the
+MCPL verifier's ``MCL…`` rule catalogue and re-exports the shared
+surface with the verifier's historical defaults:
+
+* suppressions are scanned from ``//``-style kernel comments
+  (``// lint: ignore[MCL201] justification``) on the **raw** kernel
+  source — the lexer strips comments, so suppression handling must
+  happen on the text, not the token stream;
+* the JSON renderer keeps its ``"kernel"`` key for each finding's
+  origin tag.
 
 Suppression grammar, per line::
 
@@ -21,11 +27,20 @@ justification and is encouraged.
 
 from __future__ import annotations
 
-import json
-import re
-from dataclasses import dataclass, field
-from enum import Enum
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import List, Sequence
+
+from ...analyze.findings import (
+    RULES,
+    Finding,
+    Rule,
+    Severity,
+    Suppressions,
+    filter_suppressed,
+    register_rules,
+)
+from ...analyze.findings import render_json as _render_json
+from ...analyze.findings import render_text as _render_text
+from ...analyze.findings import scan_suppressions as _scan_suppressions
 
 __all__ = [
     "Severity",
@@ -36,174 +51,49 @@ __all__ = [
     "scan_suppressions",
     "render_text",
     "render_json",
+    "filter_suppressed",
 ]
 
 
-class Severity(str, Enum):
-    ERROR = "error"
-    WARNING = "warning"
-
-    def __str__(self) -> str:  # pragma: no cover - trivial
-        return self.value
-
-
-@dataclass(frozen=True)
-class Rule:
-    """A verifier rule: stable code, severity, one-line summary."""
-
-    code: str
-    severity: Severity
-    summary: str
-
-
-#: the rule catalogue — codes are stable and documented in docs/lint.md
-RULES: Dict[str, Rule] = {
-    r.code: r
-    for r in [
-        Rule("MCL101", Severity.ERROR,
-             "cross-iteration array race: two foreach iterations may touch "
-             "the same element and at least one access is a write"),
-        Rule("MCL102", Severity.ERROR,
-             "cross-iteration scalar race: a variable declared outside a "
-             "foreach is written inside it"),
-        Rule("MCL201", Severity.ERROR,
-             "possible out-of-bounds subscript: index not provably within "
-             "the declared dimension"),
-        Rule("MCL301", Severity.ERROR,
-             "read of a possibly-uninitialized local variable"),
-        Rule("MCL302", Severity.WARNING,
-             "dead store: assigned value is never read"),
-        Rule("MCL303", Severity.WARNING,
-             "unused kernel parameter"),
-        Rule("MCL401", Severity.ERROR,
-             "barrier under divergent control flow: not all threads are "
-             "guaranteed to reach it"),
-        Rule("MCL501", Severity.ERROR,
-             "declared local/private memory exceeds the hardware level's "
-             "capacity"),
-    ]
-}
-
-
-@dataclass(frozen=True)
-class Finding:
-    """One diagnostic: rule code, location, message, optional fix hint."""
-
-    code: str
-    line: int
-    message: str
-    hint: Optional[str] = None
-    kernel: Optional[str] = None
-
-    @property
-    def severity(self) -> Severity:
-        return RULES[self.code].severity
-
-    def sort_key(self) -> tuple:
-        return (self.kernel or "", self.line, self.code, self.message)
-
-
-# ---------------------------------------------------------------------------
-# Inline suppression scanning
-# ---------------------------------------------------------------------------
-
-_IGNORE_RE = re.compile(r"//\s*lint:\s*ignore(?:\[([A-Z0-9,\s]*)\])?")
-_COMMENT_ONLY_RE = re.compile(r"^\s*//")
-
-
-@dataclass
-class Suppressions:
-    """Suppressed rule codes per 1-based source line.
-
-    ``by_line[n]`` is the set of codes suppressed on line ``n``; the empty
-    string element means "all codes".
-    """
-
-    by_line: Dict[int, Set[str]] = field(default_factory=dict)
-
-    def matches(self, line: int, code: str) -> bool:
-        codes = self.by_line.get(line)
-        if not codes:
-            return False
-        return "" in codes or code in codes
+#: the MCL rule catalogue — codes are stable and documented in docs/lint.md
+register_rules([
+    Rule("MCL101", Severity.ERROR,
+         "cross-iteration array race: two foreach iterations may touch "
+         "the same element and at least one access is a write"),
+    Rule("MCL102", Severity.ERROR,
+         "cross-iteration scalar race: a variable declared outside a "
+         "foreach is written inside it"),
+    Rule("MCL201", Severity.ERROR,
+         "possible out-of-bounds subscript: index not provably within "
+         "the declared dimension"),
+    Rule("MCL301", Severity.ERROR,
+         "read of a possibly-uninitialized local variable"),
+    Rule("MCL302", Severity.WARNING,
+         "dead store: assigned value is never read"),
+    Rule("MCL303", Severity.WARNING,
+         "unused kernel parameter"),
+    Rule("MCL401", Severity.ERROR,
+         "barrier under divergent control flow: not all threads are "
+         "guaranteed to reach it"),
+    Rule("MCL501", Severity.ERROR,
+         "declared local/private memory exceeds the hardware level's "
+         "capacity"),
+])
 
 
 def scan_suppressions(source: str) -> Suppressions:
-    """Scan raw kernel source for ``// lint: ignore[...]`` comments.
+    """Scan raw kernel source for ``// lint: ignore[...]`` comments."""
+    return _scan_suppressions(source, marker="//", tag="lint")
 
-    A suppression on a comment-only line applies to the next non-comment,
-    non-blank line; otherwise it applies to its own line.
-    """
-    sup = Suppressions()
-    lines = source.splitlines()
-    pending: Set[str] = set()
-    for lineno, text in enumerate(lines, start=1):
-        m = _IGNORE_RE.search(text)
-        codes: Optional[Set[str]] = None
-        if m:
-            if m.group(1) is None:
-                codes = {""}
-            else:
-                codes = {c.strip() for c in m.group(1).split(",") if c.strip()}
-                if not codes:
-                    codes = {""}
-        if _COMMENT_ONLY_RE.match(text):
-            if codes:
-                pending |= codes
-            continue
-        if not text.strip():
-            continue
-        applied = set(codes or ())
-        applied |= pending
-        pending = set()
-        if applied:
-            sup.by_line.setdefault(lineno, set()).update(applied)
-    return sup
-
-
-def filter_suppressed(findings: Iterable[Finding],
-                      suppressions: Suppressions) -> List[Finding]:
-    return [f for f in findings
-            if not suppressions.matches(f.line, f.code)]
-
-
-# ---------------------------------------------------------------------------
-# Renderers
-# ---------------------------------------------------------------------------
 
 def render_text(findings: Sequence[Finding], *,
                 source_name: str = "<kernel>") -> str:
     """GCC-style one-line-per-finding text rendering."""
-    if not findings:
-        return f"{source_name}: clean (0 findings)"
-    out = []
-    for f in sorted(findings, key=Finding.sort_key):
-        where = f.kernel or source_name
-        out.append(f"{where}:{f.line}: {f.severity} {f.code}: {f.message}")
-        if f.hint:
-            out.append(f"    hint: {f.hint}")
-    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
-    warnings = len(findings) - errors
-    out.append(f"{source_name}: {errors} error(s), {warnings} warning(s)")
-    return "\n".join(out)
+    return _render_text(findings, source_name=source_name)
 
 
 def render_json(findings: Sequence[Finding], *,
                 source_name: str = "<kernel>") -> str:
     """Stable machine-readable rendering (sorted, one object per finding)."""
-    payload = {
-        "source": source_name,
-        "findings": [
-            {
-                "code": f.code,
-                "severity": str(f.severity),
-                "kernel": f.kernel,
-                "line": f.line,
-                "message": f.message,
-                "hint": f.hint,
-                "summary": RULES[f.code].summary,
-            }
-            for f in sorted(findings, key=Finding.sort_key)
-        ],
-    }
-    return json.dumps(payload, indent=2, sort_keys=True)
+    return _render_json(findings, source_name=source_name,
+                        origin_key="kernel")

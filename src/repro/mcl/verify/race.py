@@ -807,11 +807,16 @@ class _RaceAnalysis:
                     continue       # iteration-private array
                 by_array.setdefault(a.array, []).append(a)
             for array, accs in by_array.items():
-                writes = [a for a in accs if a.write]
-                for w in writes:
-                    for other in accs:
-                        if other.write and id(other.node) < id(w.node):
-                            continue    # each unordered pair once
+                for i, w in enumerate(accs):
+                    if not w.write:
+                        continue
+                    for j, other in enumerate(accs):
+                        # Each unordered write pair once, ordered by the
+                        # accesses' (stable) collection order — not by
+                        # id(), whose ordering varies across runs and
+                        # would flip which write the message leads with.
+                        if other.write and j < i:
+                            continue
                         if self._pair_conflicts(w, other, fid):
                             lo, hi = sorted((w.line, other.line))
                             key = (array, scope.var, lo, hi)

@@ -56,6 +56,13 @@ POINT_KINDS = frozenset({
     "sweep_cell_run",     # a cell was executed by a worker
     "sweep_cell_cache",   # a cell was served from the result cache
     "sweep_cell_failed",  # a cell failed after all retries
+    # happens-before race sanitizer (repro.analyze.races; only emitted
+    # when the runtime carries a detector, i.e. detect_races=True)
+    "hb_spawn",        # vector-clock fork: parent spawned a child job
+    "hb_sync",         # vector-clock join: parent synced its children
+    "hb_guard",        # a guard ordered a waiter after a write
+    "shared_access",   # a shared-object read/write was recorded
+    "race",            # two concurrent conflicting accesses were found
 })
 
 

@@ -110,6 +110,9 @@ class SharedObjectUpdate(SatinMessage):
     name: str
     method: Callable[[Any, Any], Any]
     payload: Any
+    #: originating task (job id or root) — carried for the happens-before
+    #: race sanitizer; ``None`` whenever ``detect_races`` is off
+    task: Optional[int] = None
 
 
 @dataclass(slots=True)

@@ -44,11 +44,18 @@ class LeafContext:
     ``runtime`` is the owning runtime; Cashmere leaves call
     :meth:`repro.core.runtime.CashmereRuntime.get_kernel` through it
     (the ``Cashmere.getKernel()`` of Fig. 4).
+
+    ``task_id`` identifies the executing job for the happens-before race
+    sanitizer (``-1`` is the master program); leaves touching shared
+    objects pass it as the ``task=`` argument of
+    :meth:`~repro.satin.shared_objects.SharedObject.value` / ``invoke`` /
+    ``guard`` so accesses are attributed to the right vector clock.
     """
 
-    def __init__(self, runtime: Any, node: Any):
+    def __init__(self, runtime: Any, node: Any, task_id: int = -1):
         self.runtime = runtime
         self.node = node
+        self.task_id = task_id
 
     @property
     def env(self) -> Environment:

@@ -38,6 +38,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, ClassVar, Dict, Generator, List, Optional
 
+from ..analyze.races import RaceDetector
 from ..cluster.das4 import SimCluster
 from ..cluster.node import ComputeNode
 from ..obs.export import overlap_fraction
@@ -107,6 +108,13 @@ class RuntimeConfig:
     #: when an unsuppressed error-severity finding remains.  Ignored by the
     #: plain Satin runtime (no kernels); enforced by CashmereRuntime.
     verify_kernels: bool = False
+    #: attach the happens-before race sanitizer
+    #: (:class:`repro.analyze.races.RaceDetector`): spawn/sync/guard edges
+    #: merge per-job vector clocks and conflicting shared-object accesses
+    #: are reported as ``REP201`` findings.  Off by default — with the flag
+    #: off no detector exists and seeded obs event streams are
+    #: byte-identical to an uninstrumented runtime.
+    detect_races: bool = False
 
 
 class SatinRuntime:
@@ -144,6 +152,11 @@ class SatinRuntime:
         self.steal_policy.bind(self.obs)
         #: fault tolerance: crash injection, orphan table, re-queueing
         self.ft = FaultTolerance(self)
+        #: happens-before race sanitizer, or ``None`` (the default) — every
+        #: instrumentation site guards on this, so the disabled path adds
+        #: no work and no obs events
+        self.race_detector: Optional[RaceDetector] = (
+            RaceDetector(self) if self.config.detect_races else None)
         #: per-runtime job ids keep the observability event stream
         #: deterministic across runs within one process
         self._job_ids = itertools.count()
@@ -307,7 +320,8 @@ class SatinRuntime:
     def run_subtask(self, node: ComputeNode, task: Any) -> Generator:
         """Process: execute one task tree to completion (for iterative
         programs: one spawn+sync round of the master's main loop)."""
-        result = yield from self._run_task(node, task, depth=0, manycore=False)
+        result = yield from self._run_task(node, task, depth=0, manycore=False,
+                                           task_id=RaceDetector.ROOT)
         return result
 
     def broadcast_from(self, node: ComputeNode, nbytes: float,
@@ -495,7 +509,7 @@ class SatinRuntime:
     def _execute_job(self, node: ComputeNode, job: Job) -> Generator:
         self.stats.count_job(node.rank)
         result = yield from self._run_task(node, job.task, job.depth,
-                                           job.manycore)
+                                           job.manycore, task_id=job.id)
         if job.origin_rank == node.rank:
             if not job.done.triggered:
                 job.done.succeed(result)
@@ -509,10 +523,15 @@ class SatinRuntime:
                 + self.app.result_bytes(job.task)))
 
     def _run_task(self, node: ComputeNode, task: Any, depth: int,
-                  manycore: bool) -> Generator:
+                  manycore: bool,
+                  task_id: int = RaceDetector.ROOT) -> Generator:
+        """``task_id`` identifies the executing task for the happens-before
+        sanitizer: the id of the job being executed, or ``ROOT`` for the
+        master program.  It is bookkeeping only — with ``detect_races`` off
+        it is threaded through untouched."""
         app = self.app
         if app.is_leaf(task):
-            result = yield from self._execute_leaf(node, task)
+            result = yield from self._execute_leaf(node, task, task_id)
             self.stats.count_leaf(node.rank, app.leaf_flops(task))
             return result
         if not manycore and self._manycore_enabled(node) and app.is_manycore(task):
@@ -521,13 +540,15 @@ class SatinRuntime:
         if not children:
             raise ValueError(f"{app.name}: divide() returned no children")
         if manycore:
-            results = yield from self._run_manycore_children(node, children, depth)
+            results = yield from self._run_manycore_children(
+                node, children, depth, task_id)
         else:
             jobs: List[Job] = []
             rank = node.rank
             obs = self.obs
             deque = self.deques[rank]
             count_spawn = self.stats.count_spawn
+            detector = self.race_detector
             for child in children:
                 yield from node.cpu_delay(self.config.spawn_overhead_s,
                                           label="spawn")
@@ -536,11 +557,13 @@ class SatinRuntime:
                           id=next(self._job_ids))
                 jobs.append(job)
                 count_spawn(rank)
+                if detector is not None:
+                    detector.on_spawn(task_id, job.id)
                 if obs.enabled:
                     obs.emit("spawn", node=rank, job_id=job.id,
                              depth=job.depth)
                 deque.push(job)
-            results = yield from self._sync(node, jobs)
+            results = yield from self._sync(node, jobs, task_id)
         return app.combine(task, results)
 
     def _manycore_enabled(self, node: ComputeNode) -> bool:
@@ -548,21 +571,26 @@ class SatinRuntime:
         return False
 
     def _run_manycore_children(self, node: ComputeNode, children: List[Any],
-                               depth: int) -> Generator:
+                               depth: int,
+                               task_id: int = RaceDetector.ROOT) -> Generator:
         """Thread-per-spawn execution under enableManyCore (Sec. III-B).
 
         Spawns no longer produce stealable jobs; each spawnable call gets a
-        node-local thread, and sync joins them.
+        node-local thread, and sync joins them.  The threads inherit the
+        parent's ``task_id``: they are node-local and joined immediately
+        below, so the sanitizer treats them as the parent task (a known
+        granularity limit, documented in docs/analyze.md).
         """
         procs = [self.env.process(
-            self._run_task(node, child, depth + 1, True))
+            self._run_task(node, child, depth + 1, True, task_id=task_id))
             for child in children]
         results = []
         for proc in procs:
             results.append((yield proc))
         return results
 
-    def _sync(self, node: ComputeNode, jobs: List[Job]) -> Generator:
+    def _sync(self, node: ComputeNode, jobs: List[Job],
+              task_id: int = RaceDetector.ROOT) -> Generator:
         """Block until all child jobs are done, working meanwhile.
 
         A waiting computation first drains its local deque; when that is
@@ -599,6 +627,10 @@ class SatinRuntime:
                 yield self.env.process(self._execute_job(node, wait_ev.value))
             else:
                 deque.cancel_wait(wait_ev)
+        if self.race_detector is not None:
+            # The result-return edge: the parent's continuation
+            # happens-after every child, wherever it was stolen to.
+            self.race_detector.on_sync(task_id, [j.id for j in jobs])
         return [j.done.value for j in jobs]
 
     def _spawn_sync_steal_helper(self, node: ComputeNode) -> None:
@@ -634,8 +666,9 @@ class SatinRuntime:
         finally:
             self._sync_stealing[node.rank] = False
 
-    def _execute_leaf(self, node: ComputeNode, task: Any) -> Generator:
+    def _execute_leaf(self, node: ComputeNode, task: Any,
+                      task_id: int = RaceDetector.ROOT) -> Generator:
         """Leaf execution; plain Satin runs it on one CPU core."""
-        ctx = LeafContext(self, node)
+        ctx = LeafContext(self, node, task_id)
         result = yield from self.app.leaf(task, ctx)
         return result

@@ -123,6 +123,8 @@ class SweepCache:
             "spec": spec.to_dict(),
             "label": spec.display(),
             "result": result.to_dict(),
+            # analyze: ignore[REP102] cache provenance metadata: records
+            # *when* the host produced the entry, never feeds a simulation
             "meta": {"wall_s": wall_s, "saved_at": time.time()},
         }
         path = self._path(key)

@@ -156,6 +156,8 @@ def run_cells(cells: Sequence[RunSpec], *, jobs: int = 1,
     resolves.  ``bus``/``metrics`` receive structured telemetry when
     given.
     """
+    # analyze: ignore[REP102] measures the sweep's own host wall-clock
+    # (reported as wall_s); the simulations inside use virtual time
     start = time.perf_counter()
     salt = code_salt()
 
@@ -231,6 +233,7 @@ def run_cells(cells: Sequence[RunSpec], *, jobs: int = 1,
     return SweepReport(
         outcomes=outcomes,
         cell_results=[outcomes[pos].result for pos in positions],
+        # analyze: ignore[REP102] host wall-clock of the sweep itself
         wall_s=time.perf_counter() - start,
         jobs=jobs,
     )
