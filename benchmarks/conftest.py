@@ -22,6 +22,31 @@ def results_dir() -> pathlib.Path:
 RESULTS_DIR = results_dir()
 
 
+def bench_node_counts():
+    """Node counts from ``REPRO_BENCH_NODE_COUNTS``, validated.
+
+    Returns ``None`` for full paper scale (the variable is unset or
+    empty/whitespace, which previously slipped through as an empty tuple
+    and crashed the scalability experiments), else a sorted tuple of
+    distinct positive ints.  A malformed value fails fast with the
+    offending text rather than deep inside an experiment.
+    """
+    raw = os.environ.get("REPRO_BENCH_NODE_COUNTS")
+    if raw is None or not raw.strip():
+        return None
+    try:
+        counts = tuple(int(part) for part in raw.split(",") if part.strip())
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BENCH_NODE_COUNTS must be comma-separated ints, "
+            f"got {raw!r}") from None
+    if not counts or any(n < 1 for n in counts):
+        raise ValueError(
+            f"REPRO_BENCH_NODE_COUNTS needs positive node counts, "
+            f"got {raw!r}")
+    return tuple(sorted(set(counts)))
+
+
 def record(result) -> str:
     """Print an ExperimentResult, persist its table and SVG figures."""
     from repro.experiments.figures import svgs_for

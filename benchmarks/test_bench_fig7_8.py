@@ -5,22 +5,13 @@ run the same benchmark at reduced scale; the scaling assertion adapts to
 the largest node count actually run.
 """
 
-import os
-
-from conftest import record
+from conftest import bench_node_counts, record
 
 from repro.experiments import run_experiment
 
 
-def _node_counts():
-    raw = os.environ.get("REPRO_BENCH_NODE_COUNTS")
-    if not raw:
-        return None  # full paper scale (1..16 nodes)
-    return tuple(int(part) for part in raw.split(",") if part.strip())
-
-
 def test_fig7_8(benchmark):
-    node_counts = _node_counts()
+    node_counts = bench_node_counts()
     kwargs = {} if node_counts is None else {"node_counts": node_counts}
     result = benchmark.pedantic(lambda: run_experiment("fig7_8", **kwargs),
                                 rounds=1, iterations=1)

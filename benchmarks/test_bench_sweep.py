@@ -15,18 +15,11 @@ and both passes must produce identical tables.
 import json
 import os
 
-from conftest import record, results_dir
+from conftest import bench_node_counts, record, results_dir
 
 from repro.experiments import run_experiment
 from repro.sweep import SweepCache, SweepSession
 from repro.sweep.bench import sweep_entry, write_bench
-
-
-def _node_counts():
-    raw = os.environ.get("REPRO_BENCH_NODE_COUNTS")
-    if not raw:
-        return None  # full paper scale (1..16 nodes)
-    return tuple(int(part) for part in raw.split(",") if part.strip())
 
 
 def _jobs():
@@ -37,7 +30,7 @@ def _jobs():
 
 
 def test_sweep_engine(benchmark, tmp_path):
-    node_counts = _node_counts()
+    node_counts = bench_node_counts()
     kwargs = {} if node_counts is None else {"node_counts": node_counts}
     cache = SweepCache(tmp_path / "sweep-cache")
     jobs = _jobs()

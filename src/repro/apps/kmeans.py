@@ -295,12 +295,40 @@ class KMeansApp(CashmereApplication):
         return self.result_bytes(task)
 
     # -- real execution ----------------------------------------------------------
+    supports_leaf_batch = True
+
     def leaf_result(self, task: KMeansTask) -> Any:
         if self.data is None:
             return None
         chunk = self.data[task.lo:task.hi]
         _, sums, counts = reference_kmeans_iteration(chunk, self.centroids)
         return (sums, counts)
+
+    def leaf_batch(self, tasks) -> List[Any]:
+        """One vectorized assignment pass over every pending leaf's points.
+
+        The O(n·k·d) distance/argmin work runs once over the concatenated
+        chunks (assignments are row-independent, so concatenation changes
+        nothing); the cheap per-task segment reductions then reproduce each
+        ``leaf_result`` partial exactly.
+        """
+        if self.data is None:
+            return [None] * len(tasks)
+        chunks = [self.data[t.lo:t.hi] for t in tasks]
+        points = np.concatenate(chunks)
+        d2 = ((points[:, None, :] - self.centroids[None, :, :]) ** 2).sum(axis=2)
+        assign = d2.argmin(axis=1)
+        k = self.centroids.shape[0]
+        out: List[Any] = []
+        off = 0
+        for t, chunk in zip(tasks, chunks):
+            a = assign[off:off + t.count]
+            sums = np.zeros_like(self.centroids)
+            np.add.at(sums, a, chunk)
+            counts = np.bincount(a, minlength=k).astype(float)
+            out.append((sums, counts))
+            off += t.count
+        return out
 
 
 def paper_app() -> KMeansApp:

@@ -301,6 +301,37 @@ class NBodyApp(CashmereApplication):
         return self.result_bytes(task)
 
     # -- real execution ----------------------------------------------------------
+    supports_leaf_batch = True
+
+    def leaf_batch(self, tasks) -> List[Any]:
+        """One vectorized all-pairs pass over every pending leaf's bodies.
+
+        Concatenating the body ranges keeps each row's reduction identical
+        to the scalar path (forces are computed row-independently), so the
+        staged positions/velocities and per-task checksums match
+        ``leaf_result`` exactly.
+        """
+        if self.data is None:
+            return [0.0] * len(tasks)
+        pos, vel = self.data
+        idx = np.concatenate([np.arange(t.lo, t.hi) for t in tasks])
+        delta = pos[None, :, :3] - pos[idx, None, :3]
+        r2 = (delta ** 2).sum(axis=2) + SOFTENING
+        s = pos[None, :, 3] * r2 ** -1.5
+        acc = (delta * s[:, :, None]).sum(axis=1)
+        out: List[Any] = []
+        off = 0
+        for t in tasks:
+            lo, hi = t.lo, t.hi
+            a = acc[off:off + t.count]
+            self._staged_vel[lo:hi] = vel[lo:hi]
+            self._staged_vel[lo:hi, :3] += a * self.dt
+            self._staged_pos[lo:hi] = pos[lo:hi]
+            self._staged_pos[lo:hi, :3] += self._staged_vel[lo:hi, :3] * self.dt
+            out.append(float(a.sum()))
+            off += t.count
+        return out
+
     def leaf_result(self, task: NBodyTask) -> Any:
         if self.data is None:
             return 0.0

@@ -14,7 +14,7 @@ configurations used in the evaluation:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..sim.engine import Environment
 from ..sim.network import QDR_INFINIBAND, Network, NetworkSpec
@@ -79,6 +79,13 @@ class SimCluster:
                         device_overlap=config.device_overlap)
             for rank, devs in enumerate(config.nodes)
         ]
+        #: cached alive-node list — the worker loops consult it on every
+        #: pop/steal round, so rebuilding it per call costs real wall-clock.
+        #: Membership changes go through :meth:`membership_changed`.
+        self._alive_cache: Optional[List[ComputeNode]] = None
+        #: bumped on every membership change; derived caches (e.g. the
+        #: runtime's per-rank steal-candidate lists) key off it
+        self.alive_version: int = 0
 
     @property
     def num_nodes(self) -> int:
@@ -88,7 +95,17 @@ class SimCluster:
         return self.nodes[rank]
 
     def alive_nodes(self) -> List[ComputeNode]:
-        return [n for n in self.nodes if not n.crashed]
+        """The non-crashed nodes (cached; callers must not mutate)."""
+        cache = self._alive_cache
+        if cache is None:
+            cache = self._alive_cache = [n for n in self.nodes
+                                         if not n.crashed]
+        return cache
+
+    def membership_changed(self) -> None:
+        """Invalidate the alive-nodes cache after a ``crashed`` flip."""
+        self._alive_cache = None
+        self.alive_version += 1
 
 
 def gtx480_cluster(num_nodes: int, network: NetworkSpec = QDR_INFINIBAND) -> ClusterConfig:

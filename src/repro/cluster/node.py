@@ -13,12 +13,81 @@ from typing import Generator, List, Optional, Sequence
 
 from ..devices.device import SimDevice
 from ..devices.specs import HOST_CPU, CpuSpec, device_spec
-from ..sim.engine import Environment, Timeout
+from typing import Callable
+
+from ..sim.engine import Environment, Event, Timeout
 from ..sim.network import Endpoint, Network
 from ..sim.resources import Resource
 from ..sim.trace import TraceRecorder
 
 __all__ = ["ComputeNode"]
+
+
+class _DelayOp:
+    """Zero-process mirror of ``env.process(cpu_delay(s); finish())``.
+
+    Replays that spawned generator's event structure exactly: a
+    front-priority starter stands in for the Process's ``Initialize``
+    (same heap slot, so the core is claimed at the same virtual moment),
+    then grant → Timeout → busy-accounting/obs/release → ``finish()``,
+    each at the pop where the generator would have resumed.  Only the
+    spawned process's StopIteration completion event is dropped — it has
+    no waiters on this fire-and-forget path, and removing a pop wholesale
+    never reorders the remaining events.
+    """
+
+    __slots__ = ("node", "seconds", "label", "finish", "req", "start",
+                 "completes")
+
+    def __init__(self, node: "ComputeNode", seconds: float, label: str,
+                 finish: Callable[[], None], completes: bool):
+        self.node = node
+        self.seconds = seconds
+        self.label = label
+        self.finish = finish
+        self.req = None
+        self.start = 0.0
+        #: True when the mirrored process *ended* right after ``finish``
+        #: (fire-and-forget): an inert event then stands in for its
+        #: StopIteration completion pop, keeping event counts identical.
+        #: False when the process went on to send (the transfer chain's
+        #: own fillers cover the tail).
+        self.completes = completes
+        env = node.env
+        starter = Event(env)
+        starter._ok = True
+        starter._value = None
+        starter.callbacks.append(self._begin)
+        env._schedule(starter, 0, front=True)
+
+    def _begin(self, _event: Event) -> None:
+        if self.seconds <= 0:
+            self.finish()
+            if self.completes:
+                Event(self.node.env).succeed(None)
+            return
+        req = self.node.cores.request()
+        req.callbacks.append(self._granted)
+        self.req = req
+
+    def _granted(self, _event: Event) -> None:
+        env = self.node.env
+        self.start = env._now
+        hop = Timeout(env, self.seconds)
+        hop.callbacks.append(self._done)
+
+    def _done(self, _event: Event) -> None:
+        node = self.node
+        env = node.env
+        self.node.busy_cpu_s += env._now - self.start
+        obs = env.obs
+        if obs.enabled:
+            obs.emit("cpu", node=node.rank, lane=f"{node.name}/cpu",
+                     start=self.start, end=env._now, label=self.label)
+        node.cores.release(self.req)
+        self.finish()
+        if self.completes:
+            Event(env).succeed(None)
 
 
 class ComputeNode:
@@ -65,6 +134,16 @@ class ComputeNode:
             if obs.enabled:
                 obs.emit("cpu", node=self.rank, lane=f"{self.name}/cpu",
                          start=start, end=self.env.now, label=label)
+
+    def cpu_delay_async(self, seconds: float, label: str,
+                        finish: Callable[[], None],
+                        completes: bool = True) -> None:
+        """Occupy a core for ``seconds``, then call ``finish()`` — without
+        spawning a Process.  Event-order-identical replacement for
+        ``env.process(<generator doing cpu_delay(seconds); finish()>)``;
+        see :class:`_DelayOp`.  Pass ``completes=False`` when ``finish``
+        itself continues the mirrored process (e.g. into a send)."""
+        _DelayOp(self, seconds, label, finish, completes)
 
     def cpu_delay(self, seconds: float, label: str = "cpu") -> Generator:
         """Process: occupy one core for a fixed time (protocol overheads)."""

@@ -222,7 +222,7 @@ class CashmereRuntime(SatinRuntime):
             finally:
                 self.scheduler.job_finished(decision)
             self.stats.count_out_of_core()
-            return app.leaf_result(task)
+            return self._leaf_token(task)
         try:
             yield device.alloc(footprint)   # raises MemoryError if impossible
         except MemoryError:
@@ -235,7 +235,7 @@ class CashmereRuntime(SatinRuntime):
         finally:
             self.scheduler.job_finished(decision)
             yield device.free(footprint)
-        return app.leaf_result(task)
+        return self._leaf_token(task)
 
     def _launch_out_of_core(self, device: SimDevice, profile: Any,
                             kernel_name: str) -> Generator:

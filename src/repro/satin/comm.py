@@ -46,7 +46,7 @@ from typing import (
     Type,
 )
 
-from ..sim.engine import Environment, Event, Interrupt
+from ..sim.engine import Environment, Event, Interrupt, Timeout, first_of
 from ..sim.network import Endpoint
 from .job import Job
 
@@ -244,6 +244,8 @@ class CommChannel:
         #: message type -> handler(msg); handlers run inside the dispatch
         #: loop and must not block (spawn a process for slow work)
         self._handlers: Dict[Type[SatinMessage], Callable[[SatinMessage], None]] = {}
+        #: armed mailbox getter of the callback pump (fast dispatch)
+        self._pending_get: Any = None
 
     # -- handler registration ------------------------------------------------
     def on(self, msg_type: Type[SatinMessage],
@@ -265,6 +267,24 @@ class CommChannel:
         endpoint = self.endpoint
         yield from endpoint.network.transmit(endpoint, dst, msg.WIRE_TAG,
                                              msg, nbytes)
+
+    def post(self, dst: int, msg: SatinMessage, nbytes: float = 0.0) -> None:
+        """Fire-and-forget send: like ``env.process(channel.send(...))``
+        but with no Process on the fast path (see :meth:`Network.post`).
+        Event order is identical either way."""
+        endpoint = self.endpoint
+        endpoint.network.post(endpoint, dst, msg.WIRE_TAG, msg, nbytes)
+
+    def send_nowait(self, dst: int, msg: SatinMessage,
+                    nbytes: float = 0.0) -> None:
+        """Start a transfer that claims the NIC *at this exact moment* —
+        as a blocking :meth:`send` from a running process would — but
+        resumes nobody on delivery.  Replaces a blocking send whose caller
+        has nothing left to do; only valid on the network fast path
+        (callers check ``network.fast_transmit``)."""
+        endpoint = self.endpoint
+        endpoint.network._begin(endpoint, dst, msg.WIRE_TAG, msg, nbytes,
+                                None)
 
     def broadcast(self, msg: SatinMessage, nbytes: float,
                   ranks: Optional[Iterable[int]] = None) -> Generator:
@@ -311,14 +331,60 @@ class CommChannel:
                 reply = yield pending.event
                 layer.close_request(req_id)
                 return reply
-            timer = self.env.timeout(timeout, value=_TIMED_OUT)
-            yield self.env.any_of([pending.event, timer])
+            timer = Timeout(self.env, timeout, value=_TIMED_OUT)
+            yield first_of(self.env, pending.event, timer)
             layer.close_request(req_id)
             if pending.event.triggered:
                 return pending.event.value
         return None
 
     # -- receiving -----------------------------------------------------------
+    def start_pump(self) -> None:
+        """Begin consuming the mailbox via callbacks (fast dispatch).
+
+        Event-identical to ``env.process(channel.dispatch())``: a
+        front-priority starter stands in for the Process's ``Initialize``
+        (so the first mailbox getter is armed at the same pop), then one
+        getter per message, re-armed right after each handler runs — only
+        the per-message generator resumption is gone.  Crash parity is
+        :meth:`stop_pump` (the runtime calls it where it would have
+        interrupted the dispatch process).
+        """
+        env = self.env
+        starter = Event(env)
+        starter._ok = True
+        starter._value = None
+        starter.callbacks.append(lambda _e: self._arm())
+        env._schedule(starter, 0, front=True)
+
+    def _arm(self) -> None:
+        get = self.endpoint.mailbox.get()
+        get.callbacks.append(self._pump)
+        self._pending_get = get
+
+    def _pump(self, event: Event) -> None:
+        wire = event._value
+        msg = wire.payload
+        if isinstance(msg, SatinMessage):
+            handler = self._handlers.get(type(msg))
+            if handler is not None:
+                handler(msg)
+        self._arm()
+
+    def stop_pump(self) -> None:
+        """Stop the pump, mirroring an interrupt of the dispatch process:
+        the armed getter stays registered (so, like the unhooked
+        generator's pending ``recv``, it silently swallows at most one
+        more delivered message) but resumes nothing and never re-arms.
+        No-op when the pump never started (slow path)."""
+        get = self._pending_get
+        if get is not None and get.callbacks is not None:
+            try:
+                get.callbacks.remove(self._pump)
+            except ValueError:  # pragma: no cover - already delivered
+                pass
+        self._pending_get = None
+
     def dispatch(self) -> Generator:
         """Process: the node's message loop.
 

@@ -87,10 +87,16 @@ class FaultTolerance:
         if first:
             self._crashed.add(rank)
             node.crashed = True
+            rt.cluster.membership_changed()
             if rt.obs.enabled:
                 rt.obs.emit("crash", node=rank)
             for proc in rt._processes.get(rank, []):
                 proc.interrupt("node crashed")
+            # Fast dispatch runs as a callback pump, not a process; this
+            # is its interrupt (a no-op when the node uses the slow loop).
+            channel = rt.comm.channels.get(rank)
+            if channel is not None:
+                channel.stop_pump()
         if notify_comm and rank not in self._notified:
             # The membership service reports the crash: steal requests in
             # flight to the dead node fail immediately (and the comm layer

@@ -84,6 +84,16 @@ class DivideConquerApp:
     #: the host CPU just as it defeats SIMD lanes on the device.
     cpu_irregularity_penalty: float = 1.0
 
+    #: True when :meth:`leaf_batch` computes many leaf values in one
+    #: vectorized numpy call.  The runtime then defers each leaf's value to
+    #: a batch flushed at the consuming combine — leaf *timing* (and hence
+    #: the simulated event stream) is unchanged; only the host-side cost of
+    #: producing the values drops.  Leave False for apps whose per-leaf
+    #: computation does not vectorize across leaves (the raytracer's
+    #: divergent rays — the same property that defeats SIMD on the device,
+    #: Sec. V-A).
+    supports_leaf_batch: bool = False
+
     # -- program --------------------------------------------------------------
     def program(self, runtime: Any, master: Any, root_task: Any) -> Generator:
         """Process: the master's main program.
@@ -149,6 +159,17 @@ class DivideConquerApp:
     def leaf_result(self, task: Any) -> Any:
         """Result value of a leaf when running in modeled (no-data) mode."""
         return None
+
+    def leaf_batch(self, tasks: Sequence[Any]) -> List[Any]:
+        """Compute :meth:`leaf_result` for many tasks in one call.
+
+        Called by the runtime only when :attr:`supports_leaf_batch` is True;
+        must return one value per task, in order, each equal to what
+        ``leaf_result(task)`` would have produced (including any side
+        effects such as output-array writes).  The default is the scalar
+        loop; vectorizing apps override it.
+        """
+        return [self.leaf_result(t) for t in tasks]
 
     # -- Cashmere kernel hooks (ignored by plain Satin) -------------------------
     def leaf_kernel_name(self, task: Any) -> str:

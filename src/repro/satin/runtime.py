@@ -36,13 +36,13 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass
-from typing import Any, ClassVar, Dict, Generator, List, Optional
+from typing import Any, Callable, ClassVar, Dict, Generator, List, Optional
 
 from ..analyze.races import RaceDetector
 from ..cluster.das4 import SimCluster
 from ..cluster.node import ComputeNode
 from ..obs.export import overlap_fraction
-from ..sim.engine import Environment, Interrupt, Process
+from ..sim.engine import Environment, Interrupt, Process, Timeout, first_of
 from .comm import (
     CommLayer,
     ResultReturn,
@@ -115,6 +115,39 @@ class RuntimeConfig:
     #: off no detector exists and seeded obs event streams are
     #: byte-identical to an uninstrumented runtime.
     detect_races: bool = False
+    #: serve steal requests / absorb returned results on zero-process
+    #: callback chains instead of spawned generator processes.  Event
+    #: streams are byte-identical either way (the chains replay the
+    #: generators' event structure exactly); the switch exists for A/B
+    #: regression tests.  Engages only while the network fast path is
+    #: also on, so forcing ``Network.fast_transmit = False`` restores the
+    #: full reference behavior in one place.
+    fast_protocol: bool = True
+    #: batch numpy leaf execution through ``App.leaf_batch`` where the
+    #: application supports it (matmul, n-body, k-means) — one vectorized
+    #: call per flush instead of per-leaf python.  Leaf *timing* and event
+    #: streams are unchanged; only the host-side cost of computing leaf
+    #: values drops.
+    leaf_batch: bool = True
+
+
+class _PendingLeaf:
+    """Deferred leaf value: a placeholder returned by the batched leaf path.
+
+    The token travels wherever the value would have (through ``job.done``,
+    across the simulated network in a ``ResultReturn``) and is resolved —
+    flushing the whole pending batch through ``app.leaf_batch`` — at the
+    combine (or subtask return) that consumes it.  Safe because all leaves
+    of one subtask round read the same committed app state; deferral only
+    moves *when* the host computes the value, never what it is.
+    """
+
+    __slots__ = ("task", "value", "resolved")
+
+    def __init__(self, task: Any):
+        self.task = task
+        self.value = None
+        self.resolved = False
 
 
 class SatinRuntime:
@@ -157,6 +190,22 @@ class SatinRuntime:
         #: no work and no obs events
         self.race_detector: Optional[RaceDetector] = (
             RaceDetector(self) if self.config.detect_races else None)
+        #: deferred leaf values awaiting one vectorized ``app.leaf_batch``
+        #: call (flushed at the consuming combine); the guard on the app's
+        #: default ``leaf`` hook ensures the batched path replays exactly
+        #: the timing that hook would have produced
+        self._pending_leaves: List[_PendingLeaf] = []
+        self._leaf_batching: bool = bool(
+            self.config.leaf_batch
+            and getattr(app, "supports_leaf_batch", False)
+            and type(app).leaf is DivideConquerApp.leaf)
+        #: per-rank steal-round caches: candidate victim ranks (rebuilt when
+        #: cluster membership changes) and the request hooks (message
+        #: builder + obs-off attempt counter), so a steal round stops
+        #: allocating closures and candidate lists
+        self._victim_cache: Dict[int, List[int]] = {}
+        self._victim_cache_version: int = -1
+        self._steal_hooks: Dict[int, Any] = {}
         #: per-runtime job ids keep the observability event stream
         #: deterministic across runs within one process
         self._job_ids = itertools.count()
@@ -174,14 +223,24 @@ class SatinRuntime:
     def _attach_channel(self, node: ComputeNode) -> None:
         """Wire one node's typed protocol handlers."""
         ch = self.comm.attach(node.endpoint)
+        # Serving happens off the dispatch loop (a sub-process, or its
+        # zero-process equivalent) so a busy CPU delays the reply without
+        # blocking later messages' bookkeeping order.  The fast/slow branch
+        # is taken per message: both produce identical event streams, and
+        # checking ``fast_transmit`` here lets tests force the whole
+        # reference path through one switch.
         ch.on(StealRequest, lambda msg, node=node:
-              # Serve in a sub-process so a busy CPU delays the reply
-              # without blocking later messages' bookkeeping order.
-              self.env.process(self._serve_steal(node, msg)))
+              self._serve_steal_fast(node, msg)
+              if self.config.fast_protocol
+              and node.endpoint.network.fast_transmit
+              else self.env.process(self._serve_steal(node, msg)))
         ch.on(StealReply, lambda msg, node=node:
               self._on_steal_reply(node, msg))
         ch.on(ResultReturn, lambda msg, node=node:
-              self.env.process(self._absorb_result(node, msg)))
+              self._absorb_result_fast(node, msg)
+              if self.config.fast_protocol
+              and node.endpoint.network.fast_transmit
+              else self.env.process(self._absorb_result(node, msg)))
         ch.on(SharedObjectUpdate, lambda msg, node=node:
               self._on_shared_update(node, msg))
         ch.on(UserMessage, lambda msg, node=node:
@@ -306,9 +365,18 @@ class SatinRuntime:
     # node processes
     # ------------------------------------------------------------------
     def _start_nodes(self) -> None:
+        fast = (self.config.fast_protocol
+                and self.cluster.network.fast_transmit)
         for node in self.cluster.nodes:
-            procs = [self.env.process(
-                self.comm.channel(node.rank).dispatch())]
+            channel = self.comm.channel(node.rank)
+            procs: List[Process] = []
+            if fast:
+                # Callback pump instead of a dispatch process; its
+                # "interrupt" is channel.stop_pump(), wired into
+                # FaultTolerance.crash_node.
+                channel.start_pump()
+            else:
+                procs.append(self.env.process(channel.dispatch()))
             for w in range(self.config.workers_per_node):
                 procs.append(self.env.process(self._worker(node, w)))
             self._processes[node.rank] = procs
@@ -322,6 +390,8 @@ class SatinRuntime:
         programs: one spawn+sync round of the master's main loop)."""
         result = yield from self._run_task(node, task, depth=0, manycore=False,
                                            task_id=RaceDetector.ROOT)
+        if self._leaf_batching:
+            result = self._leaf_value(result)  # a root-is-leaf task
         return result
 
     def broadcast_from(self, node: ComputeNode, nbytes: float,
@@ -386,8 +456,8 @@ class SatinRuntime:
                 if wait_ev.triggered:
                     yield from self._execute_job(node, wait_ev.value)
                     continue
-                timer = self.env.timeout(backoff)
-                yield self.env.any_of([wait_ev, timer])
+                timer = Timeout(self.env, backoff)
+                yield first_of(self.env, wait_ev, timer)
                 if wait_ev.triggered:
                     backoff = policy.initial_backoff(self.config)
                     yield from self._execute_job(node, wait_ev.value)
@@ -401,6 +471,7 @@ class SatinRuntime:
     # protocol handlers (registered on the node's CommChannel)
     # ------------------------------------------------------------------
     def _serve_steal(self, node: ComputeNode, msg: StealRequest) -> Generator:
+        """Reference (slow-path) steal service, kept for A/B regression."""
         yield from node.cpu_delay(self.config.steal_handle_overhead_s,
                                   label="steal-serve")
         job = self.deques[node.rank].steal()
@@ -418,6 +489,34 @@ class SatinRuntime:
         yield from self.comm.channel(node.rank).send(
             msg.thief, StealReply(req_id=msg.req_id, job=job), nbytes=nbytes)
 
+    def _serve_steal_fast(self, node: ComputeNode, msg: StealRequest) -> None:
+        """Zero-process steal service: same events as :meth:`_serve_steal`
+        (via :meth:`ComputeNode.cpu_delay_async`), minus only the spawned
+        process's waiter-free put/completion pops."""
+        node.cpu_delay_async(
+            self.config.steal_handle_overhead_s, "steal-serve",
+            lambda: self._finish_serve_steal(node, msg),
+            completes=False)
+
+    def _finish_serve_steal(self, node: ComputeNode,
+                            msg: StealRequest) -> None:
+        # Body mirrors _serve_steal after its cpu_delay, with the blocking
+        # reply send replaced by an inline-NIC-claim fire-and-forget.
+        job = self.deques[node.rank].steal()
+        nbytes = self.config.control_message_bytes
+        if job is not None:
+            job.thief_rank = msg.thief
+            self.ft.record_stolen(job)
+            nbytes += self.app.task_bytes(job.task)
+        if self.obs.enabled:
+            self.obs.emit("steal", node=node.rank,
+                          lane=f"node{node.rank}/steal",
+                          start=self.env.now, end=self.env.now,
+                          label="serve", thief=msg.thief,
+                          hit=job is not None)
+        self.comm.channel(node.rank).send_nowait(
+            msg.thief, StealReply(req_id=msg.req_id, job=job), nbytes=nbytes)
+
     def _on_steal_reply(self, node: ComputeNode, msg: StealReply) -> None:
         if self.comm.resolve(msg.req_id, msg.job):
             return
@@ -432,8 +531,19 @@ class SatinRuntime:
         self.deques[node.rank].push(msg.job)
 
     def _absorb_result(self, node: ComputeNode, msg: ResultReturn) -> Generator:
+        """Reference (slow-path) result absorption, kept for A/B regression."""
         yield from node.cpu_delay(self.config.result_handle_overhead_s,
                                   label="result-recv")
+        self._finish_absorb(node, msg)
+
+    def _absorb_result_fast(self, node: ComputeNode,
+                            msg: ResultReturn) -> None:
+        """Zero-process result absorption (same events, no generator)."""
+        node.cpu_delay_async(
+            self.config.result_handle_overhead_s, "result-recv",
+            lambda: self._finish_absorb(node, msg))
+
+    def _finish_absorb(self, node: ComputeNode, msg: ResultReturn) -> None:
         job = self.ft.take_stolen(msg.job_id)
         if job is not None and not job.done.triggered:
             self.stats.count_result_returned()
@@ -456,36 +566,70 @@ class SatinRuntime:
     # ------------------------------------------------------------------
     # stealing
     # ------------------------------------------------------------------
+    def _make_steal_hooks(self, rank: int) -> Any:
+        """Per-rank request hooks reused across steal rounds: the
+        StealRequest builder and the obs-off attempt counter."""
+        count_stat = self.stats.count_steal_attempt
+
+        def build(req_id: int) -> StealRequest:
+            return StealRequest(req_id=req_id, thief=rank)
+
+        def count_attempt(req_id: int, attempt: int) -> None:
+            count_stat(rank)
+
+        return build, count_attempt
+
     def _try_steal(self, node: ComputeNode) -> Generator:
         """One steal *round*: poll victims in policy order until a job is
         found or every victim declined (Satin's random work-stealing retries
-        immediately on failure — only a fully failed round backs off)."""
-        candidates = [n.rank for n in self.cluster.alive_nodes()
-                      if n.rank != node.rank]
+        immediately on failure — only a fully failed round backs off).
+
+        The candidate list and the request hooks are cached per rank (the
+        candidates keyed on the cluster's membership version): an idle
+        worker runs tens of thousands of rounds per simulated second, so
+        per-round list/closure allocations cost real wall-clock.  The
+        victim *order* is still drawn from the policy every round — it
+        consumes the seeded rng, so caching it would change the schedule.
+        """
+        rank = node.rank
+        cluster = self.cluster
+        if cluster.alive_version != self._victim_cache_version:
+            self._victim_cache.clear()
+            self._victim_cache_version = cluster.alive_version
+        candidates = self._victim_cache.get(rank)
+        if candidates is None:
+            candidates = self._victim_cache[rank] = [
+                n.rank for n in cluster.alive_nodes() if n.rank != rank]
         if not candidates:
             return None
-        order = self.steal_policy.victim_order(node.rank, candidates, self.rng)
+        order = self.steal_policy.victim_order(rank, candidates, self.rng)
         if not self.config.steal_sweep:
             order = order[:1]
-        channel = self.comm.channel(node.rank)
-        rank = node.rank
+        channel = self.comm.channel(rank)
+        hooks = self._steal_hooks.get(rank)
+        if hooks is None:
+            hooks = self._steal_hooks[rank] = self._make_steal_hooks(rank)
+        build, count_attempt = hooks
+        obs_enabled = self.obs.enabled
         for victim in order:
             if self._shutdown:
                 return None
-            attempt_ids: List[int] = []
+            on_attempt: Callable[[int, int], None] = count_attempt
+            if obs_enabled:
+                attempt_ids: List[int] = []
 
-            def on_attempt(req_id: int, attempt: int,
-                           victim: int = victim,
-                           attempt_ids: List[int] = attempt_ids) -> None:
-                attempt_ids.append(req_id)
-                self.stats.count_steal_attempt(rank)
-                if self.obs.enabled:
+                def _obs_attempt(req_id: int, attempt: int,
+                                 victim: int = victim,
+                                 attempt_ids: List[int] = attempt_ids) -> None:
+                    attempt_ids.append(req_id)
+                    self.stats.count_steal_attempt(rank)
                     self.obs.emit("steal_attempt", node=rank,
                                   victim=victim, req_id=req_id)
 
+                on_attempt = _obs_attempt
+
             job = yield from channel.request(
-                victim,
-                lambda req_id: StealRequest(req_id=req_id, thief=rank),
+                victim, build,
                 nbytes=self.config.control_message_bytes,
                 on_attempt=on_attempt)
             hit = job is not None
@@ -516,11 +660,11 @@ class SatinRuntime:
         else:
             # Fire-and-forget transfer back: overlaps with the next job
             # (Satin's latency hiding).
-            self.env.process(self.comm.channel(node.rank).send(
+            self.comm.channel(node.rank).post(
                 job.origin_rank,
                 ResultReturn(job_id=job.id, result=result),
                 nbytes=self.config.control_message_bytes
-                + self.app.result_bytes(job.task)))
+                + self.app.result_bytes(job.task))
 
     def _run_task(self, node: ComputeNode, task: Any, depth: int,
                   manycore: bool,
@@ -564,6 +708,10 @@ class SatinRuntime:
                              depth=job.depth)
                 deque.push(job)
             results = yield from self._sync(node, jobs, task_id)
+        if self._leaf_batching:
+            # Child results may be deferred-leaf tokens (locally produced or
+            # returned over the network); the combine consumes values.
+            results = [self._leaf_value(r) for r in results]
         return app.combine(task, results)
 
     def _manycore_enabled(self, node: ComputeNode) -> bool:
@@ -669,6 +817,46 @@ class SatinRuntime:
     def _execute_leaf(self, node: ComputeNode, task: Any,
                       task_id: int = RaceDetector.ROOT) -> Generator:
         """Leaf execution; plain Satin runs it on one CPU core."""
+        app = self.app
+        if self._leaf_batching:
+            # Same timing as the default DivideConquerApp.leaf (the guard in
+            # __init__ checked the app did not override it); only the value
+            # is deferred into the batch.
+            yield from node.cpu_compute(
+                app.leaf_flops(task) * app.cpu_irregularity_penalty,
+                label=f"{app.name}-leaf")
+            return self._leaf_token(task)
         ctx = LeafContext(self, node, task_id)
-        result = yield from self.app.leaf(task, ctx)
+        result = yield from app.leaf(task, ctx)
         return result
+
+    def _leaf_token(self, task: Any) -> Any:
+        """The leaf's value — deferred into the batch when batching is on."""
+        if self._leaf_batching:
+            token = _PendingLeaf(task)
+            self._pending_leaves.append(token)
+            return token
+        return self.app.leaf_result(task)
+
+    def _leaf_value(self, value: Any) -> Any:
+        """Resolve a value that may be a :class:`_PendingLeaf` token."""
+        if type(value) is _PendingLeaf:
+            if not value.resolved:
+                self._flush_leaf_batch()
+            return value.value
+        return value
+
+    def _flush_leaf_batch(self) -> None:
+        """Run one vectorized ``app.leaf_batch`` over every pending leaf."""
+        pending = self._pending_leaves
+        if not pending:
+            return
+        self._pending_leaves = []
+        values = self.app.leaf_batch([p.task for p in pending])
+        if len(values) != len(pending):
+            raise RuntimeError(
+                f"{self.app.name}.leaf_batch returned {len(values)} values "
+                f"for {len(pending)} tasks")
+        for p, v in zip(pending, values):
+            p.value = v
+            p.resolved = True

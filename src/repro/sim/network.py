@@ -14,8 +14,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, Iterable, Optional
 
-from .engine import Environment, SimulationError, Timeout
+from .engine import Environment, Event, SimulationError, Timeout
 from .resources import Resource, Store
+
+
+def _exact(nbytes: float) -> Any:
+    """Counter charge for a payload size: exact int when integral.
+
+    Byte counters accumulate millions of terms; float accumulation loses
+    integer exactness past 2**53.  Integral sizes (the only kind the stack
+    produces) are charged as Python ints, whose sums are exact at any
+    magnitude; non-integral sizes fall back to the float itself.
+    """
+    i = int(nbytes)
+    return i if i == nbytes else nbytes
 
 __all__ = ["NetworkSpec", "Message", "Network", "Endpoint", "QDR_INFINIBAND", "GIGABIT_ETHERNET"]
 
@@ -80,9 +92,10 @@ class Endpoint:
         self.rank = rank
         self.nic = Resource(env, capacity=1)
         self.mailbox: Store = Store(env)
-        #: cumulative statistics
-        self.bytes_sent = 0.0
-        self.bytes_received = 0.0
+        #: cumulative statistics — byte counters start at int 0 so that
+        #: integral charges (see :func:`_exact`) accumulate exactly
+        self.bytes_sent: Any = 0
+        self.bytes_received: Any = 0
         self.messages_sent = 0
         self.messages_received = 0
 
@@ -101,6 +114,142 @@ class Endpoint:
         return self.mailbox.get(predicate)
 
 
+class _TransmitOp:
+    """One in-flight transfer on the zero-process fast path.
+
+    A small callback chain that replays the slow generator's event
+    structure exactly — same events, created at the same virtual times, so
+    every heap seq (and therefore every downstream resumption order) is
+    unchanged:
+
+    ========================  ==================================  =========
+    slow path                 fast path                           queue pop
+    ========================  ==================================  =========
+    ``yield nic.request()``   ``_Request`` created in __init__    grant
+    resume → ser ``Timeout``  ``_granted`` → ser hop ``Timeout``  ser done
+    resume → release + lat    ``_ser_done`` → release + lat hop   delivered
+    resume → counters + put   ``_deliver`` → counters + succeed   caller
+    ========================  ==================================  =========
+
+    The difference is that only the *last* pop resumes a generator (the
+    blocking caller waiting on ``done``); the other three dispatch to these
+    plain methods.  Fire-and-forget sends (``done is None``) resume nobody.
+
+    Interrupt parity: a blocking caller's ``transmit`` wrapper calls
+    :meth:`cancel` from its ``finally`` when interrupted mid-transfer,
+    which frees the NIC at interrupt-delivery time — the same moment the
+    slow generator's ``try/finally`` would — and marks the op dead so the
+    already-queued hop events pop inert, exactly like the slow path's
+    orphaned Timeouts.
+    """
+
+    __slots__ = ("network", "src_ep", "dst_ep", "msg", "nbytes", "done",
+                 "req", "inject_start", "dead", "released")
+
+    def __init__(self, network: "Network", src_ep: Endpoint, dst_ep: Endpoint,
+                 msg: Message, nbytes: float, done: Optional[Event]):
+        self.network = network
+        self.src_ep = src_ep
+        self.dst_ep = dst_ep
+        self.msg = msg
+        self.nbytes = nbytes
+        self.done = done
+        self.inject_start = 0.0
+        self.dead = False
+        self.released = False
+        req = src_ep.nic.request()
+        req.callbacks.append(self._granted)
+        self.req = req
+
+    def cancel(self) -> None:
+        """Abort like the slow path's ``finally``: free the NIC *now*."""
+        self.dead = True
+        if not self.released:
+            self.released = True
+            # Not granted yet: release() falls through to req.cancel() and
+            # withdraws the queued claim.  Granted: frees the slot.
+            self.src_ep.nic.release(self.req)
+
+    def _granted(self, _event: Event) -> None:
+        if self.dead:
+            return
+        network = self.network
+        env = network.env
+        spec = network.spec
+        # Serialization occupies the sender's injection link.
+        self.inject_start = env._now
+        hop = Timeout(env, spec.per_message_overhead_s
+                      + self.nbytes / spec.bandwidth_bps)
+        hop.callbacks.append(self._ser_done)
+
+    def _ser_done(self, _event: Event) -> None:
+        if not self.released:
+            self.released = True
+            self.src_ep.nic.release(self.req)
+        if self.dead:
+            return
+        network = self.network
+        # Fabric latency does not occupy the NIC.
+        hop = Timeout(network.env, network.spec.latency_s)
+        hop.callbacks.append(self._deliver)
+
+    def _deliver(self, _event: Event) -> None:
+        if self.dead:
+            return
+        network = self.network
+        env = network.env
+        msg = self.msg
+        nbytes = self.nbytes
+        src_ep = self.src_ep
+        dst_ep = self.dst_ep
+        msg.recv_time = env._now
+        charge = _exact(nbytes)
+        src_ep.bytes_sent += charge
+        src_ep.messages_sent += 1
+        dst_ep.bytes_received += charge
+        dst_ep.messages_received += 1
+        network.total_bytes += charge
+        network.total_messages += 1
+        obs = env.obs
+        if obs.enabled:
+            # Same interval the slow path emits, fields byte-for-byte.
+            obs.emit("send", node=src_ep.rank,
+                     lane=f"node{src_ep.rank}/net",
+                     start=self.inject_start, end=env._now,
+                     label=msg.tag, dst=msg.dst, nbytes=nbytes)
+        done = self.done
+        mailbox = dst_ep.mailbox
+        if not mailbox._putters and len(mailbox.items) < mailbox.capacity:
+            if done is not None:
+                # The caller's resume event takes the slow path's put-pop
+                # slot (same seq position), preceding the getter's.
+                done.succeed(msg)
+                mailbox.put_nowait(msg)
+            else:
+                # Fire-and-forget: the spawned sender would have popped a
+                # put event and then its process-completion event.  Keep
+                # both pops (as inert events in the identical seq slots) so
+                # fast and slow runs process *exactly* the same events —
+                # the determinism contract, and what keeps sim_events
+                # comparable across the recorded perf trajectory.
+                filler = Event(env)
+                filler.callbacks.append(self._completed)
+                filler.succeed(msg)
+                mailbox.put_nowait(msg)
+        else:
+            # Bounded/contended mailbox: fall back to a queued put and
+            # resume the caller when it lands, as the slow path does.
+            put = mailbox.put(msg)
+            if done is not None:
+                put.callbacks.append(lambda _e, d=done, m=msg: d.succeed(m))
+            else:
+                put.callbacks.append(self._completed)
+
+    def _completed(self, _event: Event) -> None:
+        """Inert stand-in for the spawned sender's completion-event pop."""
+        Event(self.network.env).succeed(None)
+
+
 class Network:
     """The fabric connecting all endpoints."""
 
@@ -108,8 +257,14 @@ class Network:
         self.env = env
         self.spec = spec
         self.endpoints: Dict[int, Endpoint] = {}
-        self.total_bytes = 0.0
+        #: int 0 start: integral charges accumulate exactly (see _exact)
+        self.total_bytes: Any = 0
         self.total_messages = 0
+        #: When True (default), transfers use the zero-process callback
+        #: chain (:class:`_TransmitOp`); when False, the original generator
+        #: path.  Both produce byte-identical event streams — the switch
+        #: exists for A/B regression tests and debugging.
+        self.fast_transmit = True
 
     def attach(self, rank: int) -> Endpoint:
         if rank in self.endpoints:
@@ -118,9 +273,57 @@ class Network:
         self.endpoints[rank] = ep
         return ep
 
+    def _begin(self, src_ep: Endpoint, dst: int, tag: str, payload: Any,
+               nbytes: float, done: Optional[Event]) -> _TransmitOp:
+        """Start a fast-path transfer; returns the op driving it."""
+        dst_ep = self.endpoints.get(dst)
+        if dst_ep is None:
+            raise SimulationError(f"no endpoint with rank {dst}")
+        msg = Message(src=src_ep.rank, dst=dst, tag=tag, payload=payload,
+                      nbytes=nbytes, send_time=self.env._now)
+        return _TransmitOp(self, src_ep, dst_ep, msg, nbytes, done)
+
+    def post(self, src_ep: Endpoint, dst: int, tag: str,
+             payload: Any, nbytes: float) -> None:
+        """Fire-and-forget transfer, no Process spawned.
+
+        Drop-in replacement for ``env.process(network.transmit(...))``:
+        the front-priority starter event below occupies exactly the queue
+        slot the Process's ``Initialize`` event would have, so the NIC is
+        claimed at the same virtual moment with the same heap seq — event
+        order relative to the caller's subsequent sends is unchanged.
+        """
+        env = self.env
+        if not self.fast_transmit:
+            env.process(self.transmit(src_ep, dst, tag, payload, nbytes))
+            return
+        starter = Event(env)
+        starter._ok = True
+        starter._value = None
+        starter.callbacks.append(
+            lambda _e: self._begin(src_ep, dst, tag, payload, nbytes, None))
+        env._schedule(starter, 0, front=True)
+
     def transmit(self, src_ep: Endpoint, dst: int, tag: str,
                  payload: Any, nbytes: float) -> Generator:
         """Process body implementing one message transfer."""
+        if self.fast_transmit:
+            done = Event(self.env)
+            op = self._begin(src_ep, dst, tag, payload, nbytes, done)
+            try:
+                result = yield done
+            finally:
+                if not done.triggered:
+                    # Interrupted mid-transfer: behave like the slow
+                    # generator's try/finally at this exact moment.
+                    op.cancel()
+            return result
+        msg = yield from self._transmit_slow(src_ep, dst, tag, payload, nbytes)
+        return msg
+
+    def _transmit_slow(self, src_ep: Endpoint, dst: int, tag: str,
+                       payload: Any, nbytes: float) -> Generator:
+        """Original generator transfer (kept as the A/B reference path)."""
         if dst not in self.endpoints:
             raise SimulationError(f"no endpoint with rank {dst}")
         env = self.env
@@ -142,12 +345,13 @@ class Network:
         # Fabric latency does not occupy the NIC.
         yield Timeout(env, spec.latency_s)
         msg.recv_time = env.now
-        src_ep.bytes_sent += nbytes
+        charge = _exact(nbytes)
+        src_ep.bytes_sent += charge
         src_ep.messages_sent += 1
         dst_ep = self.endpoints[dst]
-        dst_ep.bytes_received += nbytes
+        dst_ep.bytes_received += charge
         dst_ep.messages_received += 1
-        self.total_bytes += nbytes
+        self.total_bytes += charge
         self.total_messages += 1
         obs = env.obs
         if obs.enabled:

@@ -24,14 +24,21 @@ class _Request(Event):
     def __init__(self, resource: "Resource"):
         # Inlined Event.__init__ — one _Request per cpu_delay/NIC claim
         # makes this one of the hottest allocations of a run.
-        self.env = resource.env
-        self.callbacks = []
+        env = resource.env
+        self.env = env
+        pool = env._cb_pool
+        self.callbacks = pool.pop() if pool else []
         self._value = _PENDING
         self._ok = True
         self._defused = False
         self.resource = resource
-        resource._queue.append(self)
-        resource._trigger()
+        # Uncontended grant inline (what _trigger would do, minus the
+        # queue round-trip) — the common case for CPU cores and NICs.
+        if len(resource._users) < resource.capacity and not resource._queue:
+            resource._users.append(self)
+            self.succeed(self)
+        else:
+            resource._queue.append(self)
 
     def __enter__(self) -> "_Request":
         return self
@@ -91,8 +98,10 @@ class _StoreGet(Event):
     __slots__ = ("filt", "env_store")
 
     def __init__(self, store: "Store", filt: Optional[Callable[[Any], bool]] = None):
-        self.env = store.env
-        self.callbacks = []
+        env = store.env
+        self.env = env
+        pool = env._cb_pool
+        self.callbacks = pool.pop() if pool else []
         self._value = _PENDING
         self._ok = True
         self._defused = False
@@ -109,8 +118,10 @@ class _StorePut(Event):
     __slots__ = ("item",)
 
     def __init__(self, store: "Store", item: Any):
-        self.env = store.env
-        self.callbacks = []
+        env = store.env
+        self.env = env
+        pool = env._cb_pool
+        self.callbacks = pool.pop() if pool else []
         self._value = _PENDING
         self._ok = True
         self._defused = False
@@ -148,10 +159,42 @@ class Store:
     def _insert(self, item: Any) -> None:
         self.items.append(item)
 
+    def put_nowait(self, item: Any) -> None:
+        """Insert ``item`` synchronously, with no queue event.
+
+        Valid only when the store has room and no queued putters — callers
+        (the network delivery fast path) check both.  Waiting getters are
+        satisfied exactly as a queued :meth:`put` would have, in the same
+        order, just without the intermediate ``_StorePut`` event.
+        """
+        self._insert(item)
+        if self._getters:
+            self._trigger()
+
     def _trigger(self) -> None:
         items = self.items
         putters = self._putters
         getters = self._getters
+        if not putters:
+            # Fast paths for the common shapes: nothing to match, or one
+            # waiting getter and an item for it.  Grant order and filter
+            # semantics are exactly the general loop's below.
+            if not items or not getters:
+                return
+            if len(getters) == 1:
+                get = getters[0]
+                filt = get.filt
+                if filt is None:
+                    del getters[0]
+                    get.succeed(items.pop(0))
+                    return
+                for item in items:
+                    if filt(item):
+                        del getters[0]
+                        items.remove(item)
+                        get.succeed(item)
+                        return
+                return
         progress = True
         while progress:
             progress = False
