@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Compound multi-kernel pipelines: a path tracer as a task graph.
+
+Where the other examples express divide-and-conquer trees (spawn/sync),
+this one builds a static DAG with ``repro.graph``: one scene upload feeds
+every trace pass, passes chain through accumulation, and a tonemap +
+gather stage produces the final image.  The same graph then runs under
+the greedy device policy and the dependency-aware ``makespan-lookahead``
+policy on a heterogeneous 3-node cluster, showing why seeing the whole
+graph matters: the lookahead policy keeps chained passes on the device
+that already holds their inputs.
+
+Run:  python examples/pipeline_path_tracing.py
+"""
+
+from repro.cluster.das4 import ClusterConfig, SimCluster
+from repro.graph import GraphConfig, GraphRuntime, path_tracer_graph
+
+
+def run(policy: str):
+    graph = path_tracer_graph(scale=0.5, tiles=4, passes=4)
+    cluster = SimCluster(ClusterConfig(
+        name="het-3", nodes=[("gtx480",), ("k20",), ("c2050",)]))
+    result = GraphRuntime(cluster, graph,
+                          GraphConfig(scheduler_policy=policy)).run()
+    assert result.nodes_run == len(graph), "every node must run exactly once"
+    return graph, result
+
+
+def main():
+    graph, greedy = run("makespan")
+    _, lookahead = run("makespan-lookahead")
+
+    print(f"pipeline: {graph.name} — {len(graph)} kernel nodes, "
+          f"{len(graph.edges)} data edges, "
+          f"{graph.total_flops / 1e9:.1f} GFLOP total")
+
+    for label, result in [("greedy", greedy), ("lookahead", lookahead)]:
+        lanes = sorted(set(result.placements.values()))
+        print(f"  {label:9s}: makespan {result.makespan_s * 1e3:8.3f} ms   "
+              f"{result.gflops:7.1f} GFLOPS   "
+              f"cross-device {result.cross_device_bytes / 1e6:6.2f} MB   "
+              f"devices used: {len(lanes)}")
+
+    # Where did tile 0's accumulation chain land?  The lookahead policy
+    # tends to keep each accumulate next to one of its producers.
+    acc_nodes = [n for n, spec in graph.nodes.items()
+                 if spec.kernel == "accumulate" and n.endswith("t0")]
+    for label, result in [("greedy", greedy), ("lookahead", lookahead)]:
+        chain = " -> ".join(result.placements[n] for n in acc_nodes)
+        print(f"  accumulate chain, tile 0 ({label:9s}): {chain}")
+
+    speedup = greedy.makespan_s / lookahead.makespan_s
+    assert lookahead.makespan_s <= greedy.makespan_s, \
+        "dependency-aware placement must not lose to greedy here"
+    print(f"lookahead beats greedy: {speedup:.2f}x: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -47,9 +47,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "adaptive; where applicable)")
     run_p.add_argument("--scheduler-policy", default=None,
                        metavar="POLICY",
-                       help="intra-node device placement policy (registry "
-                            "kind 'device': makespan, static, round-robin; "
-                            "where applicable)")
+                       help="device placement policy (registry kind "
+                            "'device': makespan, makespan-lookahead, "
+                            "static, round-robin; where applicable)")
 
     sweep_p = sub.add_parser(
         "sweep", help="run experiments through the parallel, cached, "
@@ -90,6 +90,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     sweep_p.add_argument("--node-counts", default=None, metavar="N,N,...",
                          help="override scalability node counts, e.g. "
                               "'1,2,4' for a reduced-scale smoke sweep")
+    sweep_p.add_argument("--scale", type=float, default=None,
+                         help="problem-size multiplier for experiments "
+                              "that accept one (the DAG-app ablation); "
+                              "e.g. 0.25 for a reduced-scale smoke sweep")
 
     bench_engine_p = sub.add_parser(
         "bench-engine",
@@ -276,6 +280,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.node_counts is not None:
             requested["node_counts"] = tuple(
                 int(n) for n in args.node_counts.split(","))
+        if args.scale is not None:
+            requested["scale"] = args.scale
         return sweep_main(
             args.experiments, jobs=args.jobs, cache_dir=args.cache_dir,
             no_cache=args.no_cache, force=args.force, resume=args.resume,

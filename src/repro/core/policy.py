@@ -112,13 +112,19 @@ def policy_names(kind: str) -> List[str]:
 
 
 def policy_class(kind: str, name: str) -> Type[SchedulingPolicy]:
-    """Look up a registered policy class (raises ``ValueError`` if absent)."""
+    """Look up a registered policy class (raises ``ValueError`` if absent).
+
+    The error names the *kind* and enumerates the names registered for that
+    kind — a typo'd ``--scheduler-policy`` should list the device policies,
+    not the steal or admission ones.
+    """
     try:
         return _REGISTRY[(kind, name)]
     except KeyError:
         known = tuple(policy_names(kind))
         raise ValueError(
-            f"unknown policy {name!r}; known: {known}") from None
+            f"unknown policy {name!r} for kind {kind!r}; "
+            f"known {kind} policies: {known}") from None
 
 
 def create_policy(kind: str, name: str, **kwargs: object) -> SchedulingPolicy:

@@ -23,14 +23,14 @@ model and the queue-reservation bookkeeping; the policy only selects.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..devices.device import SimDevice
 from ..obs.bus import EventBus
 from .policy import SchedulingPolicy, create_policy, policy_names, register_policy
 
 __all__ = ["DeviceScheduler", "DevicePlacementPolicy", "SchedulingDecision",
-           "POLICIES"]
+           "MakespanPolicy", "LookaheadMakespanPolicy", "POLICIES"]
 
 #: placement reference time used before any measurement exists; only the
 #: *relative* speeds matter for the decision, but a plausible absolute value
@@ -64,6 +64,40 @@ class DevicePlacementPolicy(SchedulingPolicy):
                ) -> SchedulingDecision:
         raise NotImplementedError
 
+    # -- DAG lookahead hooks (driven by repro.graph) ------------------------
+    # The graph executor calls these around a whole-graph run.  The
+    # defaults make every leaf-at-a-time policy a valid (graph-oblivious)
+    # DAG policy: no preparation, FIFO dependency-resolution order, and
+    # per-node selection that ignores where the inputs live.  Only
+    # :class:`LookaheadMakespanPolicy` overrides them.
+
+    def graph_prepare(self, graph: Any,
+                      exec_estimate: Callable[[str], float],
+                      comm_estimate: Callable[[Any], float]) -> None:
+        """Called once before a DAG run starts dispatching.
+
+        ``exec_estimate(node_name)`` is the mean roofline execution time
+        across the device pool; ``comm_estimate(edge)`` the mean
+        PCIe(+network) cost of moving that edge between two distinct
+        devices.  Stateless policies ignore both.
+        """
+
+    def graph_order(self, ready: Sequence[str], graph: Any) -> List[str]:
+        """Dispatch order for a batch of ready nodes (default: FIFO)."""
+        return list(ready)
+
+    def graph_select(self, name: str, devices: List[SimDevice],
+                     predictions: Dict[str, Tuple[float, bool]],
+                     ctx: Any) -> SchedulingDecision:
+        """Place one ready DAG node.
+
+        ``ctx`` is the executor's schedule context: ``ctx.now``,
+        ``ctx.in_edges(name)``, ``ctx.placement(src) -> lane | None`` and
+        ``ctx.edge_cost(edge, src_lane, dst_lane)``.  The default ignores
+        it and falls back to the policy's leaf-at-a-time :meth:`select`.
+        """
+        return self.select(devices, predictions)
+
 
 @register_policy
 class MakespanPolicy(DevicePlacementPolicy):
@@ -88,6 +122,91 @@ class MakespanPolicy(DevicePlacementPolicy):
                                           makespan_s=makespan,
                                           used_measurement=used_measurement)
         assert best is not None
+        return best
+
+
+@register_policy
+class LookaheadMakespanPolicy(MakespanPolicy):
+    """Dependency-aware lookahead placement for DAG runs (HEFT-style).
+
+    Where greedy ``makespan`` sees one job at a time, this policy sees the
+    whole :class:`~repro.graph.model.TaskGraph`:
+
+    * :meth:`graph_prepare` computes each node's *upward rank* — its mean
+      roofline execution time plus the most expensive downstream chain of
+      (mean transfer + rank) over its out-edges — i.e. the remaining
+      critical path through that node,
+    * :meth:`graph_order` dispatches ready nodes by descending rank, so
+      critical-path work claims fast devices first,
+    * :meth:`graph_select` places each node on the device minimising its
+      *earliest finish time*: queue availability and the arrival of every
+      input — an input produced on the **same** device is free, a
+      cross-device input pays d2h + (network) + h2d.  That data-locality
+      term is what the greedy policy cannot see.
+
+    Outside a DAG run (plain Cashmere leaf placement) it inherits the
+    greedy measured-time min-makespan behaviour unchanged.
+    """
+
+    name = "makespan-lookahead"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: node name -> upward rank (seconds of remaining critical path)
+        self._rank: Dict[str, float] = {}
+        #: node name -> estimated finish time of the placed node
+        self._finish: Dict[str, float] = {}
+
+    def graph_prepare(self, graph: Any,
+                      exec_estimate: Callable[[str], float],
+                      comm_estimate: Callable[[Any], float]) -> None:
+        ranks: Dict[str, float] = {}
+        for name in reversed(graph.topo_order()):
+            critical = 0.0
+            for edge in graph.out_edges(name):
+                cand = comm_estimate(edge) + ranks[edge.dst]
+                if cand > critical:
+                    critical = cand
+            ranks[name] = exec_estimate(name) + critical
+        self._rank = ranks
+        self._finish = {}
+
+    def graph_order(self, ready: Sequence[str], graph: Any) -> List[str]:
+        # descending rank; insertion index breaks ties deterministically
+        return sorted(ready,
+                      key=lambda n: (-self._rank.get(n, 0.0),
+                                     graph.node_index(n)))
+
+    def graph_select(self, name: str, devices: List[SimDevice],
+                     predictions: Dict[str, Tuple[float, bool]],
+                     ctx: Any) -> SchedulingDecision:
+        best: Optional[SchedulingDecision] = None
+        best_eft = 0.0
+        for dev in devices:
+            t_d, used = predictions[dev.lane]
+            ready_t = ctx.now
+            for edge in ctx.in_edges(name):
+                src_lane = ctx.placement(edge.src)
+                arrival = self._finish.get(edge.src, ctx.now)
+                if arrival < ctx.now:
+                    arrival = ctx.now
+                if src_lane is not None and src_lane != dev.lane:
+                    arrival += ctx.edge_cost(edge, src_lane, dev.lane)
+                if arrival > ready_t:
+                    ready_t = arrival
+            start = ctx.now + dev.pending_work_s
+            if ready_t > start:
+                start = ready_t
+            eft = start + t_d
+            if (best is None or eft < best_eft
+                    or (eft == best_eft and dev.spec.static_speed
+                        > best.device.spec.static_speed)):
+                best = SchedulingDecision(device=dev, predicted_s=t_d,
+                                          makespan_s=eft,
+                                          used_measurement=used)
+                best_eft = eft
+        assert best is not None
+        self._finish[name] = best_eft
         return best
 
 

@@ -66,7 +66,8 @@ def experiment_runner(experiment_id: str) -> Callable[..., ExperimentResult]:
     accepts.
     """
     from . import (  # noqa: F401
-        ablations, fig6_kernels, gantt, heterogeneity, papertables, scalability)
+        ablations, fig6_kernels, gantt, graphs, heterogeneity, papertables,
+        scalability)
     try:
         return EXPERIMENTS[experiment_id]
     except KeyError:
@@ -81,5 +82,6 @@ def run_experiment(experiment_id: str, **kwargs: Any) -> ExperimentResult:
 
 def list_experiments() -> List[str]:
     from . import (  # noqa: F401
-        ablations, fig6_kernels, gantt, heterogeneity, papertables, scalability)
+        ablations, fig6_kernels, gantt, graphs, heterogeneity, papertables,
+        scalability)
     return sorted(EXPERIMENTS)

@@ -1,0 +1,20 @@
+"""First-class DAG job model and executor (``repro.graph``).
+
+Sits between the applications and the Satin/Cashmere runtime layers: the
+:mod:`model <repro.graph.model>` declares compound multi-kernel
+computations as validated task graphs, the :mod:`executor
+<repro.graph.executor>` runs them over a simulated cluster through the
+unified device-policy registry, and :mod:`apps <repro.graph.apps>` ships
+the two pipeline workloads.  See docs/graphs.md.
+"""
+
+from .apps import GRAPH_APPS, kmeans_pp_graph, path_tracer_graph
+from .executor import GraphConfig, GraphRunResult, GraphRuntime
+from .model import (DataEdge, GraphBuilder, GraphError, KernelNodeSpec,
+                    Stage, TaskGraph)
+
+__all__ = [
+    "DataEdge", "GraphBuilder", "GraphError", "KernelNodeSpec", "Stage",
+    "TaskGraph", "GraphConfig", "GraphRunResult", "GraphRuntime",
+    "GRAPH_APPS", "path_tracer_graph", "kmeans_pp_graph",
+]

@@ -1,0 +1,135 @@
+"""The two compound multi-kernel DAG applications.
+
+Both are pipeline-shaped workloads the D&C model cannot express — kernels
+chained by data dependencies with reuse across stages, where placement
+that ignores data locality pays PCIe/network transfers on every hop:
+
+* :func:`path_tracer_graph` — a tiled path tracer with per-pass
+  accumulation and a post-process stage: each pass traces every tile
+  (divergent, compute-bound), accumulates into the running per-tile
+  framebuffer (bandwidth-bound, tiny), and a final tonemap + gather
+  produces the image.  The accumulation chain makes tile affinity
+  valuable: moving a tile's framebuffer between devices costs more than
+  the accumulate kernel itself.
+
+* :func:`kmeans_pp_graph` — a multi-stage k-means++ pipeline: k-means||
+  style seeding rounds (per-chunk distance map → weight reduce → choose)
+  followed by Lloyd iterations (per-chunk assign → update).  The chunked
+  point set is the resident state; every stage also consumes the small
+  centroid buffer broadcast from the previous round's tail node.
+
+``GRAPH_APPS`` is the registry the sweep engine / CLI resolve ``system
+== "graph"`` app names through; builders accept ``scale`` (flops/bytes
+multiplier) plus structural knobs so CI can run them small.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .model import GraphBuilder, TaskGraph
+
+__all__ = ["path_tracer_graph", "kmeans_pp_graph", "GRAPH_APPS"]
+
+FLOAT_BYTES = 4.0
+
+
+def path_tracer_graph(scale: float = 1.0, tiles: int = 8, passes: int = 6,
+                      width: int = 1920, height: int = 1080,
+                      samples: int = 2) -> TaskGraph:
+    """Tiled path tracer: trace passes → per-tile accumulate → tonemap."""
+    if tiles < 1 or passes < 1:
+        raise ValueError("tiles and passes must be >= 1")
+    pixels = width * height * scale
+    tile_px = pixels / tiles
+    tile_bytes = tile_px * FLOAT_BYTES
+    scene_bytes = 256 * 1024.0
+    flops_per_sample = 1800.0
+
+    b = GraphBuilder("path-tracer")
+    scene = b.source("scene", 1, kernel="scene-upload", flops=1e6,
+                     out_bytes=scene_bytes, in_bytes=scene_bytes)
+    # pass 0 seeds the accumulation chain; later passes zip into it
+    acc = scene.fanout(
+        "trace_p0_t", tiles, kernel="trace",
+        flops=tile_px * samples * flops_per_sample,
+        device_bytes=tile_bytes * 4, out_bytes=tile_bytes,
+        compute_efficiency=0.8, memory_efficiency=0.7,
+        divergence_factor=1.6)
+    for p in range(1, passes):
+        trace = scene.fanout(
+            f"trace_p{p}_t", tiles, kernel="trace",
+            flops=tile_px * samples * flops_per_sample,
+            device_bytes=tile_bytes * 4, out_bytes=tile_bytes,
+            compute_efficiency=0.8, memory_efficiency=0.7,
+            divergence_factor=1.6)
+        acc = acc.zip_with(
+            trace, f"acc_p{p}_t", kernel="accumulate",
+            flops=2.0 * tile_px, out_bytes=tile_bytes,
+            memory_efficiency=0.75)
+    tone = acc.map("tone_t", kernel="tonemap", flops=5.0 * tile_px,
+                   out_bytes=tile_bytes, memory_efficiency=0.75)
+    tone.then("image", kernel="gather", flops=pixels,
+              out_bytes=pixels * FLOAT_BYTES, memory_efficiency=0.75)
+    return b.build()
+
+
+def kmeans_pp_graph(scale: float = 1.0, chunks: int = 6,
+                    seed_rounds: int = 3, iterations: int = 3,
+                    n_points: int = 1 << 20, dim: int = 16,
+                    k: int = 32) -> TaskGraph:
+    """k-means++ pipeline: seeding rounds, then Lloyd assign/update."""
+    if chunks < 1 or seed_rounds < 1 or iterations < 1:
+        raise ValueError("chunks/seed_rounds/iterations must be >= 1")
+    points = n_points * scale
+    chunk_pts = points / chunks
+    chunk_bytes = chunk_pts * dim * FLOAT_BYTES
+    batch = max(1.0, k / seed_rounds)          # seeds chosen per round
+    seed_bytes = batch * dim * FLOAT_BYTES
+    centroid_bytes = k * dim * FLOAT_BYTES
+
+    b = GraphBuilder("kmeans-pp")
+    pts = b.source("points", chunks, kernel="points-upload",
+                   flops=chunk_pts, out_bytes=chunk_bytes,
+                   in_bytes=chunk_bytes, memory_efficiency=0.75)
+    seeds = None  # tail node carrying the current seed/centroid set
+    for r in range(seed_rounds):
+        dist = pts.map(f"dist_r{r}_c", kernel="kmeans-dist",
+                       flops=chunk_pts * dim * batch * 2.0,
+                       device_bytes=chunk_bytes + chunk_pts * FLOAT_BYTES,
+                       out_bytes=chunk_pts * FLOAT_BYTES,
+                       compute_efficiency=0.8)
+        if seeds is not None:
+            for name in dist.names:
+                b.edge(seeds.names[0], name, nbytes=seed_bytes * (r + 1))
+        weights = dist.reduce(f"weights_r{r}",
+                              kernel="kmeans-weight-reduce",
+                              flops_per_input=chunk_pts,
+                              out_bytes=4096.0, memory_efficiency=0.75)
+        seeds = weights.then(f"choose_r{r}", kernel="kmeans-choose",
+                             flops=batch * dim * 50.0,
+                             out_bytes=seed_bytes * (r + 1),
+                             memory_efficiency=0.75)
+    centroids = seeds
+    assert centroids is not None
+    for i in range(iterations):
+        assign = pts.map(f"assign_i{i}_c", kernel="kmeans-assign",
+                         flops=chunk_pts * dim * k * 2.0,
+                         device_bytes=chunk_bytes + chunk_pts * FLOAT_BYTES,
+                         out_bytes=k * (dim + 1) * FLOAT_BYTES,
+                         compute_efficiency=0.8)
+        for name in assign.names:
+            b.edge(centroids.names[0], name,
+                   nbytes=centroid_bytes if i else seed_bytes * seed_rounds)
+        centroids = assign.then(f"update_i{i}", kernel="kmeans-update",
+                                flops=k * dim * (chunks + 1.0),
+                                out_bytes=centroid_bytes,
+                                memory_efficiency=0.75)
+    return b.build()
+
+
+#: registry for the sweep engine / experiments / CLI (system ``"graph"``)
+GRAPH_APPS: Dict[str, Callable[..., TaskGraph]] = {
+    "path-tracer": path_tracer_graph,
+    "kmeans-pp": kmeans_pp_graph,
+}

@@ -1,0 +1,257 @@
+"""DAG executor: runs a :class:`TaskGraph` on a simulated cluster.
+
+The executor is the static-graph twin of the Satin runtime: the same
+:class:`~repro.satin.job.DependencyTracker` ready-set machinery drives
+dispatch, but the DAG is known up front, so the device scheduler can look
+ahead.  Every node runs as one kernel launch on one device of the
+flattened cluster-wide pool:
+
+* inputs produced on a **different** device are materialised via
+  d2h → (network, when the producer lives on another node) → h2d,
+  inputs produced on the **same** device are free (device-resident),
+* source nodes stage their ``in_bytes`` from the host over PCIe,
+* sink outputs are copied back to the host.
+
+Placement goes through the unified device-policy registry
+(:mod:`repro.core.policy`, kind ``"device"``): the greedy policies see one
+ready node at a time, :class:`~repro.core.scheduler.LookaheadMakespanPolicy`
+additionally receives the whole graph via the ``graph_*`` hooks.
+
+Observability: ``graph_node_ready`` / ``graph_node_dispatch`` /
+``graph_node_complete`` point events, plus the usual ``h2d``/``d2h``/
+``kernel``/``send`` intervals and the policies' ``sched_decision`` events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..cluster.das4 import SimCluster
+from ..cluster.node import ComputeNode
+from ..core.policy import create_policy
+from ..core.scheduler import DevicePlacementPolicy, SchedulingDecision
+from ..devices.device import SimDevice
+from ..devices.perfmodel import kernel_time, transfer_time
+from ..satin.job import DependencyTracker
+from .model import DataEdge, TaskGraph
+
+__all__ = ["GraphConfig", "GraphRunResult", "GraphRuntime"]
+
+
+@dataclass
+class GraphConfig:
+    """Execution parameters of one DAG run."""
+
+    DEFAULT_SEED = 42
+    DEFAULT_SCHEDULER_POLICY = "makespan"
+
+    seed: int = DEFAULT_SEED
+    #: device-placement policy name (registry kind ``"device"``)
+    scheduler_policy: str = DEFAULT_SCHEDULER_POLICY
+
+
+@dataclass
+class GraphRunResult:
+    """Outcome of one DAG run."""
+
+    graph: str
+    policy: str
+    makespan_s: float
+    total_flops: float
+    nodes_run: int
+    #: node name -> device lane it ran on
+    placements: Dict[str, str] = field(default_factory=dict)
+    #: bytes moved across devices to satisfy edges (0 = perfect locality)
+    cross_device_bytes: float = 0.0
+
+    @property
+    def gflops(self) -> float:
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.total_flops / self.makespan_s / 1e9
+
+
+class _ScheduleContext:
+    """What a lookahead policy may ask about the in-flight schedule."""
+
+    def __init__(self, runtime: "GraphRuntime"):
+        self._rt = runtime
+
+    @property
+    def now(self) -> float:
+        return self._rt.env.now
+
+    def in_edges(self, name: str) -> List[DataEdge]:
+        return self._rt.graph.in_edges(name)
+
+    def placement(self, name: str) -> Optional[str]:
+        decision = self._rt._decisions.get(name)
+        return decision.device.lane if decision is not None else None
+
+    def edge_cost(self, edge: DataEdge, src_lane: str, dst_lane: str) -> float:
+        """Estimated cost of moving ``edge`` between two distinct devices."""
+        return self._rt._edge_cost(edge.nbytes,
+                                   self._rt._device_by_lane[src_lane],
+                                   self._rt._device_by_lane[dst_lane])
+
+
+class GraphRuntime:
+    """Execute one task graph over the flattened device pool of a cluster."""
+
+    def __init__(self, cluster: SimCluster, graph: TaskGraph,
+                 config: Optional[GraphConfig] = None):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.graph = graph
+        self.config = config or GraphConfig()
+        self.devices: List[SimDevice] = [
+            dev for node in cluster.nodes for dev in node.devices]
+        if not self.devices:
+            raise ValueError(
+                f"cluster {cluster.config.name!r} has no many-core devices")
+        self._owner: Dict[str, ComputeNode] = {}
+        for node in cluster.nodes:
+            for dev in node.devices:
+                self._owner[dev.lane] = node
+        self._device_by_lane: Dict[str, SimDevice] = {
+            dev.lane: dev for dev in self.devices}
+        policy = create_policy("device", self.config.scheduler_policy)
+        assert isinstance(policy, DevicePlacementPolicy)
+        self._policy: DevicePlacementPolicy = policy
+        self._policy.bind(cluster.obs)
+        self._decisions: Dict[str, SchedulingDecision] = {}
+        self._tracker = DependencyTracker()
+        self._ctx = _ScheduleContext(self)
+        self._completed = 0
+        self._cross_device_bytes = 0.0
+        self._wake = None
+
+    # -- cost estimates (policy-facing) -------------------------------------
+    def _edge_cost(self, nbytes: float, src: SimDevice,
+                   dst: SimDevice) -> float:
+        """d2h + (network) + h2d for one edge between two distinct devices."""
+        cost = (transfer_time(nbytes, src.spec)
+                + transfer_time(nbytes, dst.spec))
+        src_node = self._owner[src.lane]
+        dst_node = self._owner[dst.lane]
+        if src_node.rank != dst_node.rank:
+            cost += self.cluster.network.spec.transfer_time(nbytes)
+        return cost
+
+    def _mean_exec_estimate(self, name: str) -> float:
+        profile = self.graph.nodes[name].profile()
+        times = [kernel_time(profile, dev.spec) for dev in self.devices]
+        return sum(times) / len(times)
+
+    def _mean_comm_estimate(self, edge: DataEdge) -> float:
+        """Mean cross-device cost of an edge over distinct device pairs."""
+        if len(self.devices) == 1:
+            return 0.0
+        total = 0.0
+        pairs = 0
+        for src in self.devices:
+            for dst in self.devices:
+                if src is dst:
+                    continue
+                total += self._edge_cost(edge.nbytes, src, dst)
+                pairs += 1
+        return total / pairs
+
+    # -- execution ----------------------------------------------------------
+    def run(self) -> GraphRunResult:
+        driver = self.env.process(self._drive())
+        self.env.run(until=driver)
+        return GraphRunResult(
+            graph=self.graph.name,
+            policy=self.config.scheduler_policy,
+            makespan_s=self.env.now,
+            total_flops=self.graph.total_flops,
+            nodes_run=self._completed,
+            placements={name: d.device.lane
+                        for name, d in self._decisions.items()},
+            cross_device_bytes=self._cross_device_bytes,
+        )
+
+    def _drive(self) -> Generator:
+        graph = self.graph
+        tracker = self._tracker = DependencyTracker()
+        for name in graph.nodes:
+            tracker.add(name, graph.predecessors(name))
+        self._policy.graph_prepare(graph, self._mean_exec_estimate,
+                                   self._mean_comm_estimate)
+        obs = self.cluster.obs
+        total = len(graph)
+        while self._completed < total:
+            ready = tracker.take_ready()
+            if ready:
+                for name in self._policy.graph_order(ready, graph):
+                    if obs.enabled:
+                        obs.emit("graph_node_ready", node=None, graph=graph.name,
+                                 graph_node=name,
+                                 kernel=graph.nodes[name].kernel)
+                    self._dispatch(name)
+                continue
+            self._wake = self.env.event()
+            yield self._wake
+        self._wake = None
+
+    def _dispatch(self, name: str) -> None:
+        spec = self.graph.nodes[name]
+        profile = spec.profile()
+        predictions: Dict[str, Tuple[float, bool]] = {
+            dev.lane: (kernel_time(profile, dev.spec), False)
+            for dev in self.devices}
+        decision = self._policy.graph_select(name, self.devices,
+                                             predictions, self._ctx)
+        decision.device.pending_work_s += decision.predicted_s
+        self._decisions[name] = decision
+        obs = self.cluster.obs
+        if obs.enabled:
+            obs.emit("graph_node_dispatch", node=decision.device.node_rank,
+                     graph=self.graph.name, graph_node=name,
+                     kernel=spec.kernel, chosen=decision.device.lane,
+                     predicted_s=decision.predicted_s,
+                     policy=self.config.scheduler_policy)
+        self.env.process(self._run_node(name, decision))
+
+    def _run_node(self, name: str,
+                  decision: SchedulingDecision) -> Generator:
+        graph = self.graph
+        spec = graph.nodes[name]
+        dev = decision.device
+        node = self._owner[dev.lane]
+        if spec.in_bytes > 0:
+            yield from dev.copy_to_device(spec.in_bytes, label=f"{name}-in")
+        for edge in graph.in_edges(name):
+            src_dev = self._decisions[edge.src].device
+            if src_dev is dev:
+                continue  # device-resident input: no transfer
+            if edge.nbytes <= 0:
+                continue
+            self._cross_device_bytes += edge.nbytes
+            src_node = self._owner[src_dev.lane]
+            yield from src_dev.copy_from_device(
+                edge.nbytes, label=f"{edge.data}-d2h")
+            if src_node.rank != node.rank:
+                yield from src_node.endpoint.send(
+                    node.rank, f"graph:{edge.data}", nbytes=edge.nbytes)
+            yield from dev.copy_to_device(
+                edge.nbytes, label=f"{edge.data}-h2d")
+        yield from dev.run_kernel(spec.profile(), label=name)
+        if not graph.out_edges(name) and spec.out_bytes > 0:
+            yield from dev.copy_from_device(
+                spec.out_bytes, label=f"{name}-out")
+        dev.pending_work_s = max(
+            0.0, dev.pending_work_s - decision.predicted_s)
+        obs = self.cluster.obs
+        if obs.enabled:
+            obs.emit("graph_node_complete", node=dev.node_rank,
+                     graph=graph.name, graph_node=name, kernel=spec.kernel,
+                     chosen=dev.lane)
+        self._completed += 1
+        self._tracker.complete(name)
+        wake = self._wake
+        if wake is not None and not wake.triggered:
+            self._wake = None
+            wake.succeed()

@@ -1,0 +1,359 @@
+"""First-class DAG job model: kernel-node specs, typed data edges, builder.
+
+Satin expresses divide-and-conquer trees; compound multi-kernel
+computations (cf. "Execution of Compound Multi-Kernel OpenCL Computations
+in Multi-CPU/Multi-GPU Environments", PAPERS.md) chain kernels by data
+dependencies instead.  A :class:`TaskGraph` is the static form of that
+dependency structure: named :class:`KernelNodeSpec` nodes joined by typed
+:class:`DataEdge` buffers, validated at build time —
+
+* every edge endpoint names an existing node, no self-edges,
+* **single assignment**: each named buffer has exactly one producer,
+* **acyclic**: a Kahn topological sort must consume every node (the
+  insertion-order-deterministic topo order is kept for the schedulers).
+
+:class:`GraphBuilder` is the fluent surface: ``source → map → zip_with →
+reduce → then`` stage combinators cover map/reduce pipelines, stencil-style
+iteration (chained per-tile maps) and multi-stage pipelines without
+hand-writing edges.  Execution lives in :mod:`repro.graph.executor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..devices.perfmodel import KernelProfile
+
+__all__ = ["GraphError", "KernelNodeSpec", "DataEdge", "TaskGraph",
+           "GraphBuilder", "Stage"]
+
+
+class GraphError(ValueError):
+    """A structurally invalid task graph (cycle, dangling edge, ...)."""
+
+
+@dataclass(frozen=True)
+class KernelNodeSpec:
+    """One kernel launch in a task graph.
+
+    ``kernel`` is the kernel *family* name (the measurement/prediction key
+    shared by all launches of the same code); ``name`` identifies this
+    node.  Costs follow the roofline model of
+    :mod:`repro.devices.perfmodel`; ``in_bytes`` is host input staged
+    before the launch (source nodes uploading data), ``out_bytes`` the
+    size of the node's single-assignment output buffer.
+    """
+
+    name: str
+    kernel: str
+    flops: float
+    device_bytes: float
+    out_bytes: float = 0.0
+    in_bytes: float = 0.0
+    compute_efficiency: float = 0.85
+    memory_efficiency: float = 0.85
+    divergence_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.kernel:
+            raise GraphError("node needs a non-empty name and kernel")
+        if self.flops < 0 or self.device_bytes < 0:
+            raise GraphError(f"node {self.name!r}: negative flops/bytes")
+        if self.out_bytes < 0 or self.in_bytes < 0:
+            raise GraphError(f"node {self.name!r}: negative transfer bytes")
+
+    def profile(self) -> KernelProfile:
+        """The roofline profile of one launch of this node."""
+        return KernelProfile(
+            name=self.kernel,
+            flops=self.flops,
+            device_bytes=self.device_bytes,
+            compute_efficiency=self.compute_efficiency,
+            memory_efficiency=self.memory_efficiency,
+            divergence_factor=self.divergence_factor,
+        )
+
+
+@dataclass(frozen=True)
+class DataEdge:
+    """A typed data dependency: ``dst`` consumes buffer ``data`` of ``src``."""
+
+    src: str
+    dst: str
+    data: str
+    nbytes: float
+    dtype: str = "float32"
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise GraphError(f"edge {self.data!r}: negative nbytes")
+
+
+class TaskGraph:
+    """A validated DAG of kernel nodes and data edges.
+
+    Node and edge iteration orders are insertion orders everywhere — the
+    executor's dispatch and the schedulers' tie-breaks derive from them,
+    which keeps seeded runs byte-identical.
+    """
+
+    def __init__(self, name: str, nodes: Sequence[KernelNodeSpec],
+                 edges: Sequence[DataEdge]):
+        self.name = name
+        self.nodes: Dict[str, KernelNodeSpec] = {}
+        for node in nodes:
+            if node.name in self.nodes:
+                raise GraphError(f"duplicate node {node.name!r}")
+            self.nodes[node.name] = node
+        self.edges: Tuple[DataEdge, ...] = tuple(edges)
+        self._index: Dict[str, int] = {
+            n: i for i, n in enumerate(self.nodes)}
+        self._in: Dict[str, List[DataEdge]] = {n: [] for n in self.nodes}
+        self._out: Dict[str, List[DataEdge]] = {n: [] for n in self.nodes}
+        producers: Dict[str, str] = {}
+        for edge in self.edges:
+            if edge.src not in self.nodes:
+                raise GraphError(f"edge {edge.data!r}: unknown src {edge.src!r}")
+            if edge.dst not in self.nodes:
+                raise GraphError(f"edge {edge.data!r}: unknown dst {edge.dst!r}")
+            if edge.src == edge.dst:
+                raise GraphError(f"self-edge on {edge.src!r}")
+            seen = producers.get(edge.data)
+            if seen is not None and seen != edge.src:
+                raise GraphError(
+                    f"buffer {edge.data!r} assigned by both {seen!r} "
+                    f"and {edge.src!r} (single-assignment violated)")
+            producers[edge.data] = edge.src
+            self._in[edge.dst].append(edge)
+            self._out[edge.src].append(edge)
+        self._topo: Tuple[str, ...] = self._toposort()
+
+    # -- structure queries --------------------------------------------------
+    def in_edges(self, name: str) -> List[DataEdge]:
+        return self._in[name]
+
+    def out_edges(self, name: str) -> List[DataEdge]:
+        return self._out[name]
+
+    def predecessors(self, name: str) -> List[str]:
+        return list(dict.fromkeys(e.src for e in self._in[name]))
+
+    def successors(self, name: str) -> List[str]:
+        return list(dict.fromkeys(e.dst for e in self._out[name]))
+
+    def node_index(self, name: str) -> int:
+        """Insertion index — the deterministic tie-break key."""
+        return self._index[name]
+
+    def topo_order(self) -> Tuple[str, ...]:
+        """Kahn topological order (insertion-order deterministic)."""
+        return self._topo
+
+    def sources(self) -> List[str]:
+        return [n for n in self.nodes if not self._in[n]]
+
+    def sinks(self) -> List[str]:
+        return [n for n in self.nodes if not self._out[n]]
+
+    @property
+    def total_flops(self) -> float:
+        return sum(spec.flops for spec in self.nodes.values())
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def _toposort(self) -> Tuple[str, ...]:
+        remaining: Dict[str, int] = {
+            n: len(self.predecessors(n)) for n in self.nodes}
+        frontier: List[str] = [n for n, deg in remaining.items() if deg == 0]
+        order: List[str] = []
+        while frontier:
+            name = frontier.pop(0)
+            order.append(name)
+            for succ in self.successors(name):
+                remaining[succ] -= 1
+                if remaining[succ] == 0:
+                    frontier.append(succ)
+        if len(order) != len(self.nodes):
+            cyclic = [n for n, deg in remaining.items() if deg > 0]
+            raise GraphError(f"cycle through nodes {cyclic}")
+        return tuple(order)
+
+
+class Stage:
+    """A fluent handle on a set of sibling nodes inside a builder.
+
+    Each combinator appends nodes + edges to the owning builder and
+    returns the new stage, so pipelines read left-to-right::
+
+        b.source("tile", 8, ...).map("trace", ...).reduce("sum", ...)
+    """
+
+    def __init__(self, builder: "GraphBuilder", names: Sequence[str]):
+        self._b = builder
+        self.names: Tuple[str, ...] = tuple(names)
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def _out_bytes(self, name: str) -> float:
+        return self._b._nodes[name].out_bytes
+
+    def map(self, prefix: str, *, kernel: Optional[str] = None,
+            flops: float, out_bytes: float,
+            device_bytes: Optional[float] = None,
+            **kw: float) -> "Stage":
+        """One new node per stage node, consuming that node's output."""
+        names = []
+        for i, src in enumerate(self.names):
+            name = f"{prefix}{i}" if len(self.names) > 1 else prefix
+            nbytes = self._out_bytes(src)
+            self._b.node(name, kernel=kernel or prefix, flops=flops,
+                         device_bytes=device_bytes
+                         if device_bytes is not None
+                         else nbytes + out_bytes,
+                         out_bytes=out_bytes, **kw)
+            self._b.edge(src, name, nbytes=nbytes)
+            names.append(name)
+        return Stage(self._b, names)
+
+    def zip_with(self, other: "Stage", prefix: str, *,
+                 kernel: Optional[str] = None, flops: float,
+                 out_bytes: float, device_bytes: Optional[float] = None,
+                 **kw: float) -> "Stage":
+        """Pairwise combine two equally-sized stages (e.g. accumulate)."""
+        if len(other) != len(self):
+            raise GraphError(
+                f"zip_with: stage sizes differ ({len(self)} vs {len(other)})")
+        names = []
+        for i, (a, b) in enumerate(zip(self.names, other.names)):
+            name = f"{prefix}{i}" if len(self.names) > 1 else prefix
+            nbytes = self._out_bytes(a) + self._out_bytes(b)
+            self._b.node(name, kernel=kernel or prefix, flops=flops,
+                         device_bytes=device_bytes
+                         if device_bytes is not None
+                         else nbytes + out_bytes,
+                         out_bytes=out_bytes, **kw)
+            self._b.edge(a, name, nbytes=self._out_bytes(a))
+            self._b.edge(b, name, nbytes=self._out_bytes(b))
+            names.append(name)
+        return Stage(self._b, names)
+
+    def reduce(self, prefix: str, *, kernel: Optional[str] = None,
+               flops_per_input: float, out_bytes: float, arity: int = 2,
+               **kw: float) -> "Stage":
+        """Tree-reduce the stage down to a single node."""
+        if arity < 2:
+            raise GraphError("reduce arity must be >= 2")
+        level = 0
+        current = list(self.names)
+        while len(current) > 1:
+            nxt = []
+            for i in range(0, len(current), arity):
+                group = current[i:i + arity]
+                if len(group) == 1 and len(current) > arity:
+                    nxt.append(group[0])
+                    continue
+                name = (f"{prefix}_l{level}_{i // arity}"
+                        if len(current) > arity else prefix)
+                in_bytes = sum(self._out_bytes(g) for g in group)
+                self._b.node(name, kernel=kernel or prefix,
+                             flops=flops_per_input * len(group),
+                             device_bytes=in_bytes + out_bytes,
+                             out_bytes=out_bytes, **kw)
+                for g in group:
+                    self._b.edge(g, name, nbytes=self._out_bytes(g))
+                nxt.append(name)
+            current = nxt
+            level += 1
+        return Stage(self._b, current)
+
+    def fanout(self, prefix: str, count: int, *,
+               kernel: Optional[str] = None, flops: float, out_bytes: float,
+               device_bytes: Optional[float] = None, **kw: float) -> "Stage":
+        """``count`` new nodes, each consuming every output of this stage
+        (broadcast: e.g. one scene buffer feeding every trace tile)."""
+        if count < 1:
+            raise GraphError("fanout count must be >= 1")
+        in_bytes = sum(self._out_bytes(n) for n in self.names)
+        names = []
+        for i in range(count):
+            name = f"{prefix}{i}" if count > 1 else prefix
+            self._b.node(name, kernel=kernel or prefix, flops=flops,
+                         device_bytes=device_bytes
+                         if device_bytes is not None
+                         else in_bytes + out_bytes,
+                         out_bytes=out_bytes, **kw)
+            for src in self.names:
+                self._b.edge(src, name, nbytes=self._out_bytes(src))
+            names.append(name)
+        return Stage(self._b, names)
+
+    def then(self, name: str, *, kernel: Optional[str] = None,
+             flops: float, out_bytes: float,
+             device_bytes: Optional[float] = None, **kw: float) -> "Stage":
+        """One node consuming every output of this stage (a join/barrier)."""
+        in_bytes = sum(self._out_bytes(n) for n in self.names)
+        self._b.node(name, kernel=kernel or name, flops=flops,
+                     device_bytes=device_bytes if device_bytes is not None
+                     else in_bytes + out_bytes,
+                     out_bytes=out_bytes, **kw)
+        for src in self.names:
+            self._b.edge(src, name, nbytes=self._out_bytes(src))
+        return Stage(self._b, [name])
+
+
+class GraphBuilder:
+    """Fluent builder accumulating nodes and edges; ``build()`` validates."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._nodes: Dict[str, KernelNodeSpec] = {}
+        self._edges: List[DataEdge] = []
+
+    def node(self, name: str, *, kernel: str, flops: float,
+             device_bytes: float, out_bytes: float = 0.0,
+             in_bytes: float = 0.0, **kw: float) -> "GraphBuilder":
+        if name in self._nodes:
+            raise GraphError(f"duplicate node {name!r}")
+        self._nodes[name] = KernelNodeSpec(
+            name=name, kernel=kernel, flops=flops,
+            device_bytes=device_bytes, out_bytes=out_bytes,
+            in_bytes=in_bytes, **kw)
+        return self
+
+    def edge(self, src: str, dst: str, *, nbytes: float,
+             data: Optional[str] = None, dtype: str = "float32"
+             ) -> "GraphBuilder":
+        self._edges.append(DataEdge(src=src, dst=dst,
+                                    data=data or f"{src}.out",
+                                    nbytes=nbytes, dtype=dtype))
+        return self
+
+    def source(self, prefix: str, count: int = 1, *,
+               kernel: Optional[str] = None, flops: float,
+               out_bytes: float, in_bytes: float = 0.0,
+               device_bytes: Optional[float] = None, **kw: float) -> Stage:
+        """``count`` root nodes (data upload / generation kernels)."""
+        if count < 1:
+            raise GraphError("source count must be >= 1")
+        names = []
+        for i in range(count):
+            name = f"{prefix}{i}" if count > 1 else prefix
+            self.node(name, kernel=kernel or prefix, flops=flops,
+                      device_bytes=device_bytes if device_bytes is not None
+                      else in_bytes + out_bytes,
+                      out_bytes=out_bytes, in_bytes=in_bytes, **kw)
+            names.append(name)
+        return Stage(self, names)
+
+    def stage(self, names: Sequence[str]) -> Stage:
+        """A stage over already-declared nodes (for hand-wired graphs)."""
+        for n in names:
+            if n not in self._nodes:
+                raise GraphError(f"unknown node {n!r}")
+        return Stage(self, names)
+
+    def build(self) -> TaskGraph:
+        return TaskGraph(self.name, list(self._nodes.values()), self._edges)

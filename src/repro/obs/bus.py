@@ -63,6 +63,10 @@ POINT_KINDS = frozenset({
     "hb_guard",        # a guard ordered a waiter after a write
     "shared_access",   # a shared-object read/write was recorded
     "race",            # two concurrent conflicting accesses were found
+    # DAG executor lifecycle (repro.graph.executor)
+    "graph_node_ready",     # all data dependencies of a node resolved
+    "graph_node_dispatch",  # a node was placed on a device lane
+    "graph_node_complete",  # a node's kernel (and output copy) finished
 })
 
 

@@ -11,11 +11,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Generator, List, Optional, Sequence
+from typing import Any, Dict, Generator, Hashable, Iterable, List, Optional, \
+    Sequence
 
 from ..sim.engine import Environment, Event
 
-__all__ = ["Job", "DivideConquerApp", "LeafContext"]
+__all__ = ["Job", "DivideConquerApp", "LeafContext", "DependencyTracker"]
 
 _job_ids = itertools.count()
 
@@ -35,6 +36,82 @@ class Job:
 
     def __repr__(self) -> str:
         return f"<Job {self.id} depth={self.depth} origin={self.origin_rank}>"
+
+
+class DependencyTracker:
+    """Ready-set / dependency-counting core shared by the runtimes.
+
+    Both execution models in this reproduction reduce to the same
+    bookkeeping: a *waiter* blocks on an ordered set of *dependencies* and
+    becomes ready exactly when that set drains.  For a static
+    :class:`~repro.graph.model.TaskGraph` the waiters are kernel nodes and
+    the dependencies their in-edges; for the Satin spawn/sync tree each
+    ``sync`` is a waiter whose dependencies are the child job ids — D&C is
+    a dynamically unfolding DAG, and :meth:`SatinRuntime._sync
+    <repro.satin.runtime.SatinRuntime._sync>` is lowered onto this class.
+
+    Determinism contract: all iteration orders are insertion orders
+    (ordered dicts throughout, no sets), so a seeded simulation driving
+    its dispatch from this tracker replays byte-identically.
+    """
+
+    __slots__ = ("_remaining", "_waiters", "_ready", "_readied")
+
+    def __init__(self) -> None:
+        #: waiter -> ordered {dep: None} still outstanding
+        self._remaining: Dict[Hashable, Dict[Hashable, None]] = {}
+        #: dep -> waiters blocked on it (in add order)
+        self._waiters: Dict[Hashable, List[Hashable]] = {}
+        #: readied waiters not yet handed out by :meth:`take_ready` (FIFO)
+        self._ready: List[Hashable] = []
+        #: permanent record of every waiter that became ready
+        self._readied: Dict[Hashable, None] = {}
+
+    def add(self, waiter: Hashable, deps: Iterable[Hashable] = ()) -> bool:
+        """Register ``waiter`` blocked on ``deps`` (duplicates collapse).
+
+        Returns True when the waiter is immediately ready (no deps).
+        """
+        if waiter in self._remaining or waiter in self._readied:
+            raise ValueError(f"waiter {waiter!r} already tracked")
+        remaining = dict.fromkeys(deps)
+        if not remaining:
+            self._ready.append(waiter)
+            self._readied[waiter] = None
+            return True
+        self._remaining[waiter] = remaining
+        for dep in remaining:
+            self._waiters.setdefault(dep, []).append(waiter)
+        return False
+
+    def complete(self, dep: Hashable) -> List[Hashable]:
+        """Resolve ``dep``; return waiters that became ready, in add order."""
+        newly: List[Hashable] = []
+        for waiter in self._waiters.pop(dep, ()):
+            remaining = self._remaining[waiter]
+            remaining.pop(dep, None)
+            if not remaining:
+                del self._remaining[waiter]
+                self._ready.append(waiter)
+                self._readied[waiter] = None
+                newly.append(waiter)
+        return newly
+
+    def remaining(self, waiter: Hashable) -> List[Hashable]:
+        """Outstanding dependencies of ``waiter``, in insertion order."""
+        return list(self._remaining.get(waiter, ()))
+
+    def is_ready(self, waiter: Hashable) -> bool:
+        return waiter in self._readied
+
+    def take_ready(self) -> List[Hashable]:
+        """Drain and return the FIFO of newly-readied waiters."""
+        ready, self._ready = self._ready, []
+        return ready
+
+    @property
+    def blocked_count(self) -> int:
+        return len(self._remaining)
 
 
 class LeafContext:

@@ -52,7 +52,7 @@ from .comm import (
     UserMessage,
 )
 from .ft import FaultTolerance
-from .job import DivideConquerApp, Job, LeafContext
+from .job import DependencyTracker, DivideConquerApp, Job, LeafContext
 from .queues import WorkDeque
 from .stats import RunResult, RunStats
 from .steal import StealPolicy, create_steal_policy
@@ -746,13 +746,22 @@ class SatinRuntime:
         a node whose children were all stolen must not sit idle while other
         nodes hold queued work) and sleeps until a child completes or new
         local work appears.
+
+        The sync point is one waiter on a :class:`DependencyTracker` whose
+        dependencies are the child job ids — the same ready-set machinery
+        that drives the static-DAG executor (``repro.graph``); here the
+        DAG unfolds dynamically and completion is observed by polling the
+        children's ``done`` events.
         """
-        pending: Dict[int, Job] = {j.id: j for j in jobs}
+        by_id: Dict[int, Job] = {j.id: j for j in jobs}
+        tracker = DependencyTracker()
+        tracker.add("sync", by_id)
         deque = self.deques[node.rank]
         while True:
-            for jid in [k for k, j in pending.items() if j.done.triggered]:
-                pending.pop(jid)
-            if not pending:
+            for jid in [d for d in tracker.remaining("sync")
+                        if by_id[d].done.triggered]:
+                tracker.complete(jid)
+            if tracker.is_ready("sync"):
                 break
             local = deque.pop()
             if local is not None:
@@ -769,7 +778,7 @@ class SatinRuntime:
             if wait_ev.triggered:
                 yield self.env.process(self._execute_job(node, wait_ev.value))
                 continue
-            child_events = [j.done for j in pending.values()]
+            child_events = [by_id[d].done for d in tracker.remaining("sync")]
             yield self.env.any_of(child_events + [wait_ev])
             if wait_ev.triggered:
                 yield self.env.process(self._execute_job(node, wait_ev.value))

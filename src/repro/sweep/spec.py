@@ -33,8 +33,9 @@ from typing import Any, Dict, List, Sequence, Tuple
 __all__ = ["ClusterSpec", "RunSpec", "CellResult", "CellFailure",
            "run_cell", "run_cells_inline", "config_items"]
 
-#: systems a cell can run on (mirrors ``repro.experiments.scalability.SYSTEMS``)
-SYSTEMS = ("satin", "cashmere-unopt", "cashmere-opt")
+#: systems a cell can run on (``repro.experiments.scalability.SYSTEMS``
+#: plus ``"graph"`` — the DAG executor of :mod:`repro.graph`)
+SYSTEMS = ("satin", "cashmere-unopt", "cashmere-opt", "graph")
 
 #: named interconnects resolvable from a spec (the specs themselves are not
 #: picklable-friendly config, so cells carry the *name*)
@@ -235,6 +236,8 @@ def run_cell(spec: RunSpec) -> Tuple[CellResult, float]:
     from ..satin.runtime import RuntimeConfig
 
     _maybe_inject_failure(spec)
+    if spec.system == "graph":
+        return _run_graph_cell(spec)
     if spec.app not in APP_BUILDERS:
         raise ValueError(f"unknown application {spec.app!r}; known: "
                          f"{sorted(APP_BUILDERS)}")
@@ -271,6 +274,49 @@ def run_cell(spec: RunSpec) -> Tuple[CellResult, float]:
         total_jobs=stats.total_jobs,
         total_leaves=stats.total_leaves,
         cpu_fallbacks=stats.cpu_fallbacks,
+        sim_events=cluster.env.events_processed,
+    )
+    return cell, wall_s
+
+
+def _run_graph_cell(spec: RunSpec) -> Tuple[CellResult, float]:
+    """Execute one ``system == "graph"`` cell on the DAG executor.
+
+    ``spec.app`` resolves through :data:`repro.graph.apps.GRAPH_APPS`;
+    ``config`` carries ``scheduler_policy`` plus any builder knobs
+    (``scale``, ``tiles``, ``passes``, ...).  Jobs == leaves == graph
+    nodes and the steal counters are zero: the DAG executor places every
+    node directly, nothing is stolen.
+    """
+    from ..cluster.das4 import SimCluster
+    from ..graph.apps import GRAPH_APPS
+    from ..graph.executor import GraphConfig, GraphRuntime
+
+    if spec.app not in GRAPH_APPS:
+        raise ValueError(f"unknown graph application {spec.app!r}; known: "
+                         f"{sorted(GRAPH_APPS)}")
+    overrides = dict(spec.config)
+    policy = overrides.pop("scheduler_policy",
+                           GraphConfig.DEFAULT_SCHEDULER_POLICY)
+    graph = GRAPH_APPS[spec.app](**overrides)
+    cluster = SimCluster(spec.cluster.build())
+    # analyze: ignore[REP102] per-cell host wall-clock (cache metadata)
+    start = time.perf_counter()
+    runtime = GraphRuntime(cluster, graph,
+                           GraphConfig(seed=spec.seed,
+                                       scheduler_policy=policy))
+    res = runtime.run()
+    # analyze: ignore[REP102] host-side cell timing only
+    wall_s = time.perf_counter() - start
+    cell = CellResult(
+        makespan_s=res.makespan_s,
+        gflops=res.gflops,
+        total_leaf_flops=res.total_flops,
+        steal_attempts=0,
+        steal_successes=0,
+        total_jobs=res.nodes_run,
+        total_leaves=res.nodes_run,
+        cpu_fallbacks=0,
         sim_events=cluster.env.events_processed,
     )
     return cell, wall_s

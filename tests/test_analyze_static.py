@@ -339,6 +339,54 @@ def test_shipped_tree_is_clean():
     assert analyze_tree(baseline=baseline) == []
 
 
+def test_unseeded_graph_builder_fixture_flagged():
+    """Golden: a DAG-app builder that jitters node costs from the
+    process-global RNG is exactly the nondeterminism REP101 exists to
+    catch — two builds of the "same" graph would place differently."""
+    assert _codes("""
+        import random
+
+        from repro.graph import GraphBuilder
+
+        def jittered_pipeline(stages):
+            g = GraphBuilder("jittered")
+            prev = None
+            for i in range(stages):
+                name = f"stage{i}"
+                g.node(name, kernel="stage",
+                       flops=1e9 * (1.0 + random.random()),
+                       device_bytes=1 << 20)
+                if prev is not None:
+                    g.edge(prev, name, nbytes=1 << 16)
+                prev = name
+            return g.build()
+    """, module="repro.graph.fixture") == ["REP101"]
+
+
+def test_seeded_graph_builder_fixture_clean():
+    """Counterpart: the same builder drawing jitter from an explicitly
+    seeded instance passes the sanitizer."""
+    assert _codes("""
+        import random
+
+        from repro.graph import GraphBuilder
+
+        def jittered_pipeline(stages, seed):
+            rng = random.Random(seed)
+            g = GraphBuilder("jittered")
+            prev = None
+            for i in range(stages):
+                name = f"stage{i}"
+                g.node(name, kernel="stage",
+                       flops=1e9 * (1.0 + rng.random()),
+                       device_bytes=1 << 20)
+                if prev is not None:
+                    g.edge(prev, name, nbytes=1 << 16)
+                prev = name
+            return g.build()
+    """, module="repro.graph.fixture") == []
+
+
 def test_config_whitelists_are_globs():
     config = AnalyzerConfig()
     assert config.wallclock_allowed("repro.sweep.cli")

@@ -101,3 +101,24 @@ def test_tie_breaks_prefer_faster_device():
     gtx480.measured_times["k"] = 0.100
     decision = DeviceScheduler().choose([gtx480, k20], "k")
     assert decision.device is k20
+
+
+def test_unknown_policy_error_lists_known_names_for_kind():
+    """The registry's error path is kind-aware: asking for a bogus device
+    policy must name the *device* policies (and only those), so a typo'd
+    ``--scheduler-policy`` is self-correcting from the message alone."""
+    from repro.core.policy import create_policy, policy_names
+
+    with pytest.raises(ValueError) as excinfo:
+        create_policy("device", "makespan-lookbehind")
+    message = str(excinfo.value)
+    assert "unknown policy" in message
+    assert "'makespan-lookbehind'" in message
+    assert "'device'" in message
+    for name in policy_names("device"):
+        assert name in message
+    assert "makespan-lookahead" in message
+    # Steal-policy names must not leak into a device-kind error.
+    for name in policy_names("steal"):
+        if name not in policy_names("device"):
+            assert f"'{name}'" not in message

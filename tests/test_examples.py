@@ -24,7 +24,8 @@ def run_example(name, timeout=300):
 def test_examples_directory_complete():
     names = sorted(p.name for p in EXAMPLES.glob("*.py"))
     assert names == ["fault_tolerant_raytracing.py", "heterogeneous_kmeans.py",
-                     "quickstart.py", "stepwise_refinement.py"]
+                     "pipeline_path_tracing.py", "quickstart.py",
+                     "stepwise_refinement.py"]
 
 
 def test_quickstart():
@@ -39,6 +40,13 @@ def test_stepwise_refinement():
     assert "ready to translate down" in out
     assert "__kernel void matmul" in out
     assert "xeon_phi" in out
+
+
+def test_pipeline_path_tracing():
+    out = run_example("pipeline_path_tracing.py")
+    assert "kernel nodes" in out
+    assert "lookahead beats greedy" in out
+    assert out.strip().endswith("OK")
 
 
 @pytest.mark.slow

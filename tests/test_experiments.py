@@ -17,7 +17,8 @@ def test_registry_covers_every_table_and_figure():
         "table1", "table2", "fig6", "fig7_8", "fig9_10", "fig11_12",
         "fig13_14", "table3", "fig15", "fig16_17",
         "ablation_scheduler", "ablation_overlap", "ablation_steal",
-        "ablation_steal_policy", "ablation_network"])
+        "ablation_steal_policy", "ablation_network",
+        "ablation_graph_scheduler"])
 
 
 def test_unknown_experiment_rejected():

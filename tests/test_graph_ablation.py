@@ -1,0 +1,35 @@
+"""Acceptance property of the DAG scheduler ablation.
+
+The claim docs/graphs.md makes: on every (app, mix) cell of the
+``ablation_graph_scheduler`` grid, the dependency-aware lookahead policy
+achieves makespan <= greedy, and strictly beats it on at least one cell
+per app.  This test locks the claim in at the experiment's default scale
+so a scheduler or cost-model change that silently regresses the policy
+fails CI instead of shipping a worse table.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.graphs import GRAPH_ABLATION_APPS, GRAPH_MIXES
+
+
+def test_lookahead_never_loses_and_strictly_wins_somewhere():
+    result = run_experiment("ablation_graph_scheduler")
+    assert result.headers == ["app", "mix", "greedy ms", "lookahead ms",
+                              "speedup"]
+    assert len(result.rows) == len(GRAPH_ABLATION_APPS) * len(GRAPH_MIXES)
+    strict_wins = {app: False for app in GRAPH_ABLATION_APPS}
+    for app, mix, greedy_ms, lookahead_ms, _speedup in result.rows:
+        assert lookahead_ms <= greedy_ms, (
+            f"{app}/{mix}: lookahead ({lookahead_ms} ms) lost to greedy "
+            f"({greedy_ms} ms)")
+        if lookahead_ms < greedy_ms:
+            strict_wins[app] = True
+    assert all(strict_wins.values()), (
+        f"lookahead must strictly beat greedy on at least one mix per app; "
+        f"wins: {strict_wins}")
+
+
+def test_ablation_is_deterministic():
+    first = run_experiment("ablation_graph_scheduler")
+    second = run_experiment("ablation_graph_scheduler")
+    assert first.rows == second.rows

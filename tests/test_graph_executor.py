@@ -1,0 +1,242 @@
+"""Tests for the DAG executor and the lookahead placement policy.
+
+Contracts (docs/graphs.md): every node of a valid graph runs exactly once
+under every registered device policy; seeded runs are byte-identical;
+the ``graph_node_*`` obs events bracket each node; the lookahead policy
+orders dispatch by upward rank and places for data locality.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.cluster.das4 import ClusterConfig, SimCluster
+from repro.core.policy import policy_names
+from repro.core.scheduler import LookaheadMakespanPolicy
+from repro.graph import (
+    GraphBuilder,
+    GraphConfig,
+    GraphRuntime,
+    TaskGraph,
+)
+from repro.graph.apps import kmeans_pp_graph, path_tracer_graph
+
+
+def _cluster(nodes=(("gtx480",), ("k20",)), obs=False) -> SimCluster:
+    return SimCluster(ClusterConfig(name="graph-test", nodes=list(nodes)),
+                      obs_enabled=obs)
+
+
+def _small_graph() -> TaskGraph:
+    b = GraphBuilder("small")
+    scene = b.source("scene", flops=0, out_bytes=1 << 16, in_bytes=1 << 16)
+    tiles = scene.fanout("tile", 4, flops=5e9, out_bytes=1 << 14)
+    tiles.reduce("merge", flops_per_input=1e6, out_bytes=1 << 14)
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# execution contract
+# ---------------------------------------------------------------------------
+
+def test_runs_every_node_exactly_once():
+    graph = _small_graph()
+    result = GraphRuntime(_cluster(), graph).run()
+    assert result.nodes_run == len(graph)
+    assert result.makespan_s > 0
+    assert result.total_flops == graph.total_flops
+    assert sorted(result.placements) == sorted(graph.nodes)
+    assert result.gflops > 0
+
+
+@pytest.mark.parametrize("policy", sorted(policy_names("device")))
+def test_every_device_policy_completes_the_graph(policy):
+    graph = path_tracer_graph(scale=0.1)
+    result = GraphRuntime(_cluster(), graph,
+                          GraphConfig(scheduler_policy=policy)).run()
+    assert result.nodes_run == len(graph)
+    assert result.policy == policy
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError, match="unknown policy"):
+        GraphRuntime(_cluster(), _small_graph(),
+                     GraphConfig(scheduler_policy="nope"))
+
+
+def test_cluster_without_devices_rejected():
+    cluster = SimCluster(ClusterConfig(name="empty", nodes=[(), ()]))
+    with pytest.raises(ValueError, match="no many-core devices"):
+        GraphRuntime(cluster, _small_graph())
+
+
+def test_single_device_has_zero_cross_device_bytes():
+    result = GraphRuntime(_cluster(nodes=(("k20",),)), _small_graph()).run()
+    assert result.cross_device_bytes == 0.0
+    assert len(set(result.placements.values())) == 1
+
+
+def test_multi_device_spreads_independent_tiles():
+    # 4 independent equally-sized tiles on 2 devices: any makespan-aware
+    # policy must use both.
+    result = GraphRuntime(_cluster(), _small_graph()).run()
+    tile_lanes = {result.placements[f"tile{i}"] for i in range(4)}
+    assert len(tile_lanes) == 2
+    assert result.cross_device_bytes > 0  # the merge pulls remote tiles
+
+
+# ---------------------------------------------------------------------------
+# observability + determinism
+# ---------------------------------------------------------------------------
+
+def _obs_run(graph, policy="makespan"):
+    cluster = _cluster(obs=True)
+    GraphRuntime(cluster, graph, GraphConfig(scheduler_policy=policy)).run()
+    return cluster
+
+
+@pytest.mark.parametrize("policy", ["makespan", "makespan-lookahead"])
+def test_graph_node_events_bracket_every_node(policy):
+    graph = _small_graph()
+    cluster = _obs_run(graph, policy)
+    counts = {}
+    for ev in cluster.obs.events:
+        counts[ev.kind] = counts.get(ev.kind, 0) + 1
+    for kind in ("graph_node_ready", "graph_node_dispatch",
+                 "graph_node_complete"):
+        assert counts.get(kind) == len(graph), (kind, counts)
+    dispatches = cluster.obs.by_kind("graph_node_dispatch")
+    assert {ev.fields["graph_node"] for ev in dispatches} == set(graph.nodes)
+    assert all(ev.fields["policy"] == policy for ev in dispatches)
+
+
+@pytest.mark.parametrize("policy", sorted(policy_names("device")))
+def test_seeded_graph_runs_are_byte_identical(policy):
+    graph = kmeans_pp_graph(scale=0.1)
+    streams = []
+    for _ in range(2):
+        cluster = _obs_run(graph, policy)
+        streams.append(cluster.obs.serialize())
+    d1, d2 = (hashlib.sha256(s.encode()).hexdigest() for s in streams)
+    assert d1 == d2
+    assert streams[0] == streams[1]
+
+
+def test_policies_actually_differ_on_the_apps():
+    graph = path_tracer_graph(scale=0.5)
+    greedy = GraphRuntime(_cluster(), graph,
+                          GraphConfig(scheduler_policy="makespan")).run()
+    look = GraphRuntime(_cluster(), graph,
+                        GraphConfig(
+                            scheduler_policy="makespan-lookahead")).run()
+    assert greedy.placements != look.placements \
+        or greedy.makespan_s != look.makespan_s
+
+
+# ---------------------------------------------------------------------------
+# lookahead policy unit behavior (no cluster needed)
+# ---------------------------------------------------------------------------
+
+def _chain_graph():
+    b = GraphBuilder("chain")
+    b.node("a", kernel="k", flops=1e9, device_bytes=1 << 20, out_bytes=64)
+    b.node("b", kernel="k", flops=1e9, device_bytes=1 << 20, out_bytes=64)
+    b.node("c", kernel="k", flops=1e9, device_bytes=1 << 20, out_bytes=64)
+    b.edge("a", "b", nbytes=64).edge("b", "c", nbytes=64)
+    return b.build()
+
+
+def test_upward_rank_decreases_along_a_chain():
+    policy = LookaheadMakespanPolicy()
+    graph = _chain_graph()
+    policy.graph_prepare(graph, lambda n: 1.0, lambda e: 0.25)
+    # rank(c)=1, rank(b)=1+0.25+1=2.25, rank(a)=3.5
+    assert policy._rank["c"] == pytest.approx(1.0)
+    assert policy._rank["b"] == pytest.approx(2.25)
+    assert policy._rank["a"] == pytest.approx(3.5)
+    assert policy.graph_order(["c", "a", "b"], graph) == ["a", "b", "c"]
+
+
+def test_rank_takes_most_expensive_downstream_chain():
+    b = GraphBuilder("diamond")
+    for n in ("root", "cheap", "costly", "join"):
+        b.node(n, kernel="k", flops=1e9, device_bytes=1 << 20, out_bytes=64)
+    b.edge("root", "cheap", nbytes=64).edge("root", "costly", nbytes=64)
+    b.edge("cheap", "join", nbytes=64).edge("costly", "join", nbytes=64)
+    graph = b.build()
+    policy = LookaheadMakespanPolicy()
+    exec_est = {"root": 1.0, "cheap": 0.5, "costly": 4.0, "join": 1.0}
+    policy.graph_prepare(graph, lambda n: exec_est[n], lambda e: 0.0)
+    # root's rank must follow the costly branch (1 + 4 + 1), not the cheap
+    assert policy._rank["root"] == pytest.approx(6.0)
+    assert policy.graph_order(["cheap", "costly"], graph) \
+        == ["costly", "cheap"]
+
+
+class _FakeDev:
+    def __init__(self, lane, speed, pending=0.0):
+        self.lane = lane
+        self.pending_work_s = pending
+        self.spec = type("S", (), {"static_speed": speed})()
+
+
+class _FakeCtx:
+    def __init__(self, now, edges, placements, cost):
+        self.now = now
+        self._edges = edges
+        self._placements = placements
+        self._cost = cost
+
+    def in_edges(self, name):
+        return self._edges.get(name, [])
+
+    def placement(self, name):
+        return self._placements.get(name)
+
+    def edge_cost(self, edge, src_lane, dst_lane):
+        return self._cost
+
+
+def test_graph_select_prefers_data_locality():
+    """A slightly slower device already holding the input wins when the
+    transfer costs more than the speed difference — exactly the call the
+    greedy policy cannot make."""
+    policy = LookaheadMakespanPolicy()
+    fast = _FakeDev("fast", speed=2.0)
+    slow = _FakeDev("slow", speed=1.0)
+    edge = type("E", (), {"src": "prev", "nbytes": 1 << 20})()
+    ctx = _FakeCtx(now=0.0, edges={"n": [edge]},
+                   placements={"prev": "slow"}, cost=5.0)
+    predictions = {"fast": (1.0, False), "slow": (1.5, False)}
+    decision = policy.graph_select("n", [fast, slow], predictions, ctx)
+    assert decision.device is slow
+    # ... but when moving is nearly free, the faster device wins.
+    policy2 = LookaheadMakespanPolicy()
+    ctx_free = _FakeCtx(now=0.0, edges={"n": [edge]},
+                        placements={"prev": "slow"}, cost=0.01)
+    decision2 = policy2.graph_select("n", [fast, slow], predictions, ctx_free)
+    assert decision2.device is fast
+
+
+def test_graph_select_accounts_for_queued_work():
+    policy = LookaheadMakespanPolicy()
+    busy = _FakeDev("busy", speed=2.0, pending=10.0)
+    idle = _FakeDev("idle", speed=1.0, pending=0.0)
+    ctx = _FakeCtx(now=0.0, edges={}, placements={}, cost=0.0)
+    predictions = {"busy": (1.0, False), "idle": (2.0, False)}
+    decision = policy.graph_select("n", [busy, idle], predictions, ctx)
+    assert decision.device is idle
+    assert policy._finish["n"] == pytest.approx(2.0)
+
+
+def test_graph_select_records_finish_estimates_for_successors():
+    policy = LookaheadMakespanPolicy()
+    dev = _FakeDev("only", speed=1.0)
+    ctx = _FakeCtx(now=0.0, edges={}, placements={}, cost=0.0)
+    policy.graph_select("a", [dev], {"only": (3.0, False)}, ctx)
+    # successor on the same lane starts no earlier than a's finish
+    edge = type("E", (), {"src": "a", "nbytes": 8})()
+    ctx2 = _FakeCtx(now=0.0, edges={"b": [edge]},
+                    placements={"a": "only"}, cost=0.0)
+    decision = policy.graph_select("b", [dev], {"only": (1.0, False)}, ctx2)
+    assert decision.makespan_s == pytest.approx(4.0)

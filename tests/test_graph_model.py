@@ -1,0 +1,266 @@
+"""Tests for the DAG job model: validation, queries, builder combinators.
+
+The contract (docs/graphs.md): ``TaskGraph`` rejects structurally invalid
+graphs at build time — duplicate nodes, dangling or self edges, multiple
+producers of one buffer, cycles — and every iteration order (nodes, edges,
+topo) is insertion-order deterministic, because the executor's dispatch
+and the schedulers' tie-breaks derive from it.
+"""
+
+import pytest
+
+from repro.graph import (
+    DataEdge,
+    GraphBuilder,
+    GraphError,
+    KernelNodeSpec,
+    TaskGraph,
+)
+from repro.graph.apps import GRAPH_APPS, kmeans_pp_graph, path_tracer_graph
+
+
+def _node(name, **kw):
+    kw.setdefault("kernel", "k")
+    kw.setdefault("flops", 1e9)
+    kw.setdefault("device_bytes", 1 << 20)
+    return KernelNodeSpec(name=name, **kw)
+
+
+def _chain(*names):
+    nodes = [_node(n) for n in names]
+    edges = [DataEdge(src=a, dst=b, data=f"{a}.out", nbytes=1024)
+             for a, b in zip(names, names[1:])]
+    return TaskGraph("chain", nodes, edges)
+
+
+# ---------------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------------
+
+def test_node_spec_rejects_empty_and_negative():
+    with pytest.raises(GraphError, match="non-empty"):
+        KernelNodeSpec(name="", kernel="k", flops=1.0, device_bytes=1.0)
+    with pytest.raises(GraphError, match="negative flops"):
+        _node("a", flops=-1.0)
+    with pytest.raises(GraphError, match="negative transfer"):
+        _node("a", out_bytes=-1.0)
+
+
+def test_edge_rejects_negative_nbytes():
+    with pytest.raises(GraphError, match="negative nbytes"):
+        DataEdge(src="a", dst="b", data="a.out", nbytes=-1)
+
+
+def test_duplicate_node_rejected():
+    with pytest.raises(GraphError, match="duplicate node 'a'"):
+        TaskGraph("g", [_node("a"), _node("a")], [])
+
+
+def test_dangling_edge_endpoints_rejected():
+    with pytest.raises(GraphError, match="unknown src 'ghost'"):
+        TaskGraph("g", [_node("a")],
+                  [DataEdge("ghost", "a", "ghost.out", 8)])
+    with pytest.raises(GraphError, match="unknown dst 'ghost'"):
+        TaskGraph("g", [_node("a")],
+                  [DataEdge("a", "ghost", "a.out", 8)])
+
+
+def test_self_edge_rejected():
+    with pytest.raises(GraphError, match="self-edge on 'a'"):
+        TaskGraph("g", [_node("a")], [DataEdge("a", "a", "a.out", 8)])
+
+
+def test_single_assignment_violation_rejected():
+    nodes = [_node("a"), _node("b"), _node("c")]
+    edges = [DataEdge("a", "c", "buf", 8), DataEdge("b", "c", "buf", 8)]
+    with pytest.raises(GraphError, match="single-assignment"):
+        TaskGraph("g", nodes, edges)
+
+
+def test_same_buffer_fanout_is_legal():
+    # One producer, many consumers of the same buffer: fine.
+    nodes = [_node("a"), _node("b"), _node("c")]
+    edges = [DataEdge("a", "b", "buf", 8), DataEdge("a", "c", "buf", 8)]
+    graph = TaskGraph("g", nodes, edges)
+    assert graph.successors("a") == ["b", "c"]
+
+
+def test_cycle_rejected_and_names_cyclic_nodes():
+    nodes = [_node("a"), _node("b"), _node("c")]
+    edges = [DataEdge("a", "b", "a.out", 8),
+             DataEdge("b", "c", "b.out", 8),
+             DataEdge("c", "a", "c.out", 8)]
+    with pytest.raises(GraphError, match="cycle through nodes"):
+        TaskGraph("g", nodes, edges)
+
+
+# ---------------------------------------------------------------------------
+# structure queries
+# ---------------------------------------------------------------------------
+
+def test_topo_order_respects_dependencies():
+    graph = _chain("a", "b", "c", "d")
+    assert graph.topo_order() == ("a", "b", "c", "d")
+    assert graph.sources() == ["a"]
+    assert graph.sinks() == ["d"]
+    assert graph.predecessors("c") == ["b"]
+    assert graph.successors("b") == ["c"]
+    assert len(graph) == 4
+
+
+def test_topo_order_is_insertion_deterministic():
+    # Two independent chains interleaved: Kahn must pop in insertion order.
+    nodes = [_node(n) for n in ("x0", "y0", "x1", "y1")]
+    edges = [DataEdge("x0", "x1", "x0.out", 8),
+             DataEdge("y0", "y1", "y0.out", 8)]
+    graph = TaskGraph("g", nodes, edges)
+    assert graph.topo_order() == ("x0", "y0", "x1", "y1")
+
+
+def test_node_index_and_total_flops():
+    graph = _chain("a", "b", "c")
+    assert [graph.node_index(n) for n in ("a", "b", "c")] == [0, 1, 2]
+    assert graph.total_flops == pytest.approx(3e9)
+
+
+def test_profile_carries_roofline_fields():
+    spec = _node("a", flops=2e9, device_bytes=4096, divergence_factor=1.5)
+    profile = spec.profile()
+    assert profile.name == "k"
+    assert profile.flops == 2e9
+    assert profile.device_bytes == 4096
+    assert profile.divergence_factor == 1.5
+
+
+# ---------------------------------------------------------------------------
+# builder combinators
+# ---------------------------------------------------------------------------
+
+def test_builder_source_map_then_pipeline():
+    b = GraphBuilder("pipe")
+    stage = b.source("load", 3, flops=0, out_bytes=1024, in_bytes=1024)
+    stage = stage.map("proc", flops=1e9, out_bytes=512)
+    stage.then("gather", flops=1e6, out_bytes=256)
+    graph = b.build()
+    assert len(graph) == 7
+    assert graph.sources() == ["load0", "load1", "load2"]
+    assert graph.sinks() == ["gather"]
+    # map wires 1:1, then wires a full join
+    assert graph.predecessors("proc1") == ["load1"]
+    assert graph.predecessors("gather") == ["proc0", "proc1", "proc2"]
+    # edge payloads default to the producer's out_bytes
+    assert graph.in_edges("proc0")[0].nbytes == 1024
+    assert graph.in_edges("gather")[0].nbytes == 512
+
+
+def test_builder_zip_with_pairs_stages():
+    b = GraphBuilder("zip")
+    left = b.source("l", 2, flops=0, out_bytes=100)
+    right = b.source("r", 2, flops=0, out_bytes=200)
+    combined = left.zip_with(right, "acc", flops=1e6, out_bytes=50)
+    graph = b.build()
+    assert combined.names == ("acc0", "acc1")
+    assert graph.predecessors("acc0") == ["l0", "r0"]
+    assert sorted(e.nbytes for e in graph.in_edges("acc1")) == [100, 200]
+
+
+def test_builder_zip_with_size_mismatch_rejected():
+    b = GraphBuilder("zip")
+    left = b.source("l", 2, flops=0, out_bytes=1)
+    right = b.source("r", 3, flops=0, out_bytes=1)
+    with pytest.raises(GraphError, match="stage sizes differ"):
+        left.zip_with(right, "acc", flops=1.0, out_bytes=1)
+
+
+def test_builder_reduce_builds_tree_to_single_node():
+    b = GraphBuilder("tree")
+    stage = b.source("part", 5, flops=0, out_bytes=64)
+    out = stage.reduce("sum", flops_per_input=1e3, out_bytes=64)
+    graph = b.build()
+    assert len(out) == 1
+    assert graph.sinks() == [out.names[0]]
+    # Every partial reaches the root.
+    root = out.names[0]
+    reachable = set()
+    frontier = [root]
+    while frontier:
+        n = frontier.pop()
+        for p in graph.predecessors(n):
+            reachable.add(p)
+            frontier.append(p)
+    assert {f"part{i}" for i in range(5)} <= reachable
+
+
+def test_builder_reduce_arity_validated():
+    b = GraphBuilder("tree")
+    stage = b.source("part", 2, flops=0, out_bytes=1)
+    with pytest.raises(GraphError, match="arity must be >= 2"):
+        stage.reduce("sum", flops_per_input=1.0, out_bytes=1, arity=1)
+
+
+def test_builder_fanout_broadcasts_stage_outputs():
+    b = GraphBuilder("bcast")
+    scene = b.source("scene", flops=0, out_bytes=4096)
+    tiles = scene.fanout("tile", 4, flops=1e9, out_bytes=1024)
+    graph = b.build()
+    assert tiles.names == ("tile0", "tile1", "tile2", "tile3")
+    for name in tiles.names:
+        assert graph.predecessors(name) == ["scene"]
+
+
+def test_builder_fanout_count_validated():
+    b = GraphBuilder("bcast")
+    scene = b.source("scene", flops=0, out_bytes=1)
+    with pytest.raises(GraphError, match="count must be >= 1"):
+        scene.fanout("tile", 0, flops=1.0, out_bytes=1)
+
+
+def test_builder_source_count_validated():
+    with pytest.raises(GraphError, match="count must be >= 1"):
+        GraphBuilder("g").source("s", 0, flops=0, out_bytes=1)
+
+
+def test_builder_duplicate_node_rejected_eagerly():
+    b = GraphBuilder("g")
+    b.node("a", kernel="k", flops=1.0, device_bytes=1.0)
+    with pytest.raises(GraphError, match="duplicate node 'a'"):
+        b.node("a", kernel="k", flops=1.0, device_bytes=1.0)
+
+
+def test_builder_stage_over_unknown_node_rejected():
+    b = GraphBuilder("g")
+    b.node("a", kernel="k", flops=1.0, device_bytes=1.0)
+    with pytest.raises(GraphError, match="unknown node 'b'"):
+        b.stage(["a", "b"])
+
+
+# ---------------------------------------------------------------------------
+# the shipped compound apps
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("app_name", sorted(GRAPH_APPS))
+def test_shipped_apps_build_valid_graphs(app_name):
+    graph = GRAPH_APPS[app_name]()
+    assert len(graph) > 10
+    assert graph.edges
+    assert graph.sources() and graph.sinks()
+    # build() already validated acyclicity; topo covers every node
+    assert len(graph.topo_order()) == len(graph)
+
+
+def test_path_tracer_scale_scales_work_not_structure():
+    small = path_tracer_graph(scale=0.25)
+    full = path_tracer_graph(scale=1.0)
+    assert len(small) == len(full)
+    assert small.total_flops < full.total_flops
+
+
+def test_kmeans_pp_has_sequential_rounds():
+    graph = kmeans_pp_graph(chunks=3, seed_rounds=2, iterations=2)
+    # seeding rounds serialize through the choose nodes: the graph depth
+    # must exceed a flat map/reduce (source -> map -> reduce -> sink = 4)
+    depth = {}
+    for name in graph.topo_order():
+        preds = graph.predecessors(name)
+        depth[name] = 1 + max((depth[p] for p in preds), default=0)
+    assert max(depth.values()) >= 6

@@ -17,10 +17,15 @@ import hashlib
 
 import pytest
 
-from repro.apps.base import run_cashmere
+from repro.apps.base import run_cashmere, run_satin
 from repro.apps.kmeans import KMeansApp
 from repro.apps.matmul import MatmulApp
+from repro.apps.nbody import NBodyApp
+from repro.apps.raytracer import RaytracerApp
 from repro.cluster.das4 import ClusterConfig
+from repro.core.runtime import CashmereConfig
+from repro.satin.runtime import RuntimeConfig
+from repro.sweep.spec import ClusterSpec
 
 
 def _cluster() -> ClusterConfig:
@@ -91,6 +96,60 @@ def test_stream_is_replayable_json_lines():
     ts = [r["ts"] for r in records]
     assert all(b >= a for a, b in zip(ts, ts[1:])), \
         "event timestamps must be non-decreasing in emission order"
+
+
+# ---------------------------------------------------------------------------
+# golden hashes: the five apps' seeded streams are frozen byte-for-byte
+# ---------------------------------------------------------------------------
+#
+# Same-seed/byte-identical (above) only protects against nondeterminism
+# *within* one build of the runtime.  These constants additionally pin the
+# streams *across* builds: any refactor of the spawn/sync machinery, the
+# scheduler, or the protocol chains that changes even one event is a
+# regression and must either be reverted or consciously re-golden-ed with
+# a changelog note.  Configs mirror tests/test_fastpath_ab.py.
+
+GOLDEN_STREAM_HASHES = {
+    "kmeans":
+        "0ac26c445cba294a7b013feb52ee3a22a597f1c50a8579410d0b36182057167e",
+    "matmul":
+        "35bd2fd77d9c538994371f70b1cc030d53f1f2da0f7e39b2d0305172dd6d91a8",
+    "nbody":
+        "098a9edf36b602c885073d4f9b698a830b3992978b6c4a9ac0ed65ea757cf017",
+    "raytracer":
+        "1f3542e090f7c5a56da4341082d7832e20435db12773c84b7f5b9ca5062116f7",
+    "satin-raytracer":
+        "2c66bf9d77ecebeae8652198ff419d8cafbe5079cd73b8c68161ec6e81aa4a31",
+}
+
+
+def _golden_stream_hash(app_name: str) -> str:
+    if app_name == "kmeans":
+        app = KMeansApp(n_points=1 << 18, iterations=2, leaf_points=1 << 15)
+    elif app_name == "matmul":
+        app = MatmulApp(n=2048, leaf_block=512)
+    elif app_name == "nbody":
+        app = NBodyApp(n_bodies=1 << 14, iterations=2, leaf_bodies=1 << 11)
+    elif app_name == "raytracer":
+        app = RaytracerApp(width=256, height=128, samples=4, leaf_rows=16)
+    else:  # satin-raytracer
+        app = RaytracerApp(width=512, height=256, samples=4, leaf_rows=16)
+        cluster_config = ClusterSpec(kind="satin_cpu", num_nodes=4).build()
+        _res, _rt, cluster = run_satin(
+            app, cluster_config, app.root_task(),
+            config=RuntimeConfig(seed=42), obs=True, return_runtime=True)
+        return hashlib.sha256(cluster.obs.serialize().encode()).hexdigest()
+    _res, _rt, cluster = run_cashmere(
+        app, _cluster(), app.root_task(),
+        config=CashmereConfig(seed=42), obs=True, return_runtime=True)
+    return hashlib.sha256(cluster.obs.serialize().encode()).hexdigest()
+
+
+@pytest.mark.parametrize("app_name", sorted(GOLDEN_STREAM_HASHES))
+def test_golden_stream_hashes(app_name):
+    assert _golden_stream_hash(app_name) == GOLDEN_STREAM_HASHES[app_name], (
+        f"{app_name}: seeded obs stream changed — the runtime's event "
+        f"structure is no longer byte-identical to the committed golden")
 
 
 # ---------------------------------------------------------------------------

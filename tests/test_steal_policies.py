@@ -28,7 +28,8 @@ def test_registry_lists_all_steal_policies():
     assert steal_policy_names() == ["random", "cluster-aware", "adaptive"]
     # same registry the device policies live in (unified surface)
     assert steal_policy_names() == policy_names("steal")
-    assert policy_names("device") == ["makespan", "static", "round-robin"]
+    assert policy_names("device") == ["makespan", "makespan-lookahead",
+                                      "static", "round-robin"]
 
 
 def test_unknown_policy_rejected():
